@@ -1,0 +1,81 @@
+// Command pnstm-bench regenerates the paper's evaluation figures
+// (Barreto et al., PPoPP 2010, §7) on this machine.
+//
+// Usage:
+//
+//	pnstm-bench -fig 6                     # speedup of parallel vs serial nesting
+//	pnstm-bench -fig 7                     # per-tx handling time vs depth
+//	pnstm-bench -fig 6 -think 20ms -repeats 5 -detail
+//	pnstm-bench -fig 6 -paperscale         # 0..2s think times, as published (slow!)
+//
+// The paper ran on a 64-hardware-thread Niagara 2 with 32 workers and
+// think times up to 2 s. The workload is think-time dominated, so the
+// figure shapes survive a shorter think time and fewer cores; -paperscale
+// restores the published parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pnstm/internal/bench"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 6, "figure to regenerate: 6 (speedup) or 7 (tx time vs depth)")
+		think      = flag.Duration("think", 20*time.Millisecond, "max leaf think time (paper: 2s; keep ≫ ~0.5ms of write work per leaf)")
+		objects    = flag.Int("objects", 2000, "objects written per leaf transaction")
+		workers    = flag.Int("workers", 32, "worker slots P (max 32)")
+		repeats    = flag.Int("repeats", 3, "repetitions per data point (paper: 10)")
+		maxDepth   = flag.Int("maxdepth", 6, "deepest tree depth D")
+		maxLeaves  = flag.Int("maxleaves", 64, "largest leaf count N (doubling from 1)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		detail     = flag.Bool("detail", false, "also print raw wall/tx times")
+		paperscale = flag.Bool("paperscale", false, "use the paper's 0..2s think times and 10 repeats")
+	)
+	flag.Parse()
+
+	if *paperscale {
+		*think = 2 * time.Second
+		*repeats = 10
+	}
+	var counts []int
+	for n := 1; n <= *maxLeaves; n *= 2 {
+		counts = append(counts, n)
+	}
+	cfg := bench.FigureConfig{
+		LeafCounts: counts,
+		MaxDepth:   *maxDepth,
+		Objects:    *objects,
+		ThinkMax:   *think,
+		Workers:    *workers,
+		Repeats:    *repeats,
+		Seed:       *seed,
+	}
+
+	var (
+		f   *bench.Figure
+		err error
+	)
+	switch *fig {
+	case 6:
+		f, err = bench.Fig6(cfg)
+	case 7:
+		f, err = bench.Fig7(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "pnstm-bench: unknown figure %d (want 6 or 7)\n", *fig)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnstm-bench: %v\n", err)
+		os.Exit(1)
+	}
+	f.Render(os.Stdout)
+	if *detail {
+		fmt.Println()
+		f.RenderDetail(os.Stdout)
+	}
+}

@@ -1,0 +1,131 @@
+// Command pnstm-stress hammers the STM with randomized nested-parallel
+// workloads and checks global invariants, as a long-running soak test.
+//
+// Usage:
+//
+//	pnstm-stress -duration 10s -workers 8 -accounts 64
+//
+// The workload is a bank: random transfers run as transactions whose
+// debit and credit execute as parallel nested children (the paper's
+// Figure 1 pattern), interleaved with audit transactions that sum every
+// account inside one transaction. Invariants checked continuously:
+//
+//   - conservation: the total balance never changes;
+//   - audit atomicity: an audit observes a consistent snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"pnstm"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 5*time.Second, "how long to run")
+		workers  = flag.Int("workers", 8, "worker slots P")
+		accounts = flag.Int("accounts", 64, "number of accounts")
+		groups   = flag.Int("groups", 8, "concurrent transfer groups")
+		seed     = flag.Int64("seed", time.Now().UnixNano(), "workload seed")
+	)
+	flag.Parse()
+
+	rt, err := pnstm.New(pnstm.Config{Workers: *workers, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnstm-stress: %v\n", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+
+	const initial = 1000
+	total := *accounts * initial
+	vars := make([]*pnstm.TVar[int], *accounts)
+	for i := range vars {
+		vars[i] = pnstm.NewTVar(initial)
+	}
+
+	var transfers, audits, violations atomic.Int64
+	deadline := time.Now().Add(*duration)
+
+	err = rt.Run(func(c *pnstm.Ctx) {
+		fns := make([]func(*pnstm.Ctx), *groups+1)
+		for g := 0; g < *groups; g++ {
+			rng := rand.New(rand.NewSource(*seed + int64(g)))
+			fns[g] = func(c *pnstm.Ctx) {
+				for time.Now().Before(deadline) {
+					from := rng.Intn(len(vars))
+					to := rng.Intn(len(vars))
+					amt := rng.Intn(50)
+					_ = c.Atomic(func(c *pnstm.Ctx) error {
+						c.Parallel(
+							func(c *pnstm.Ctx) {
+								_ = c.Atomic(func(c *pnstm.Ctx) error {
+									pnstm.Update(c, vars[from], func(v int) int { return v - amt })
+									return nil
+								})
+							},
+							func(c *pnstm.Ctx) {
+								_ = c.Atomic(func(c *pnstm.Ctx) error {
+									pnstm.Update(c, vars[to], func(v int) int { return v + amt })
+									return nil
+								})
+							},
+						)
+						return nil
+					})
+					transfers.Add(1)
+				}
+			}
+		}
+		// Auditor: full-sum transactions must always see the invariant.
+		auditRng := rand.New(rand.NewSource(*seed - 1))
+		fns[*groups] = func(c *pnstm.Ctx) {
+			for time.Now().Before(deadline) {
+				sum, err := pnstm.AtomicResult(c, func(c *pnstm.Ctx) (int, error) {
+					s := 0
+					for _, v := range vars {
+						s += pnstm.Load(c, v)
+					}
+					return s, nil
+				})
+				if err == nil {
+					audits.Add(1)
+					if sum != total {
+						violations.Add(1)
+						fmt.Fprintf(os.Stderr, "AUDIT VIOLATION: sum=%d want %d\n", sum, total)
+					}
+				}
+				time.Sleep(time.Duration(auditRng.Intn(2000)) * time.Microsecond)
+			}
+		}
+		c.Parallel(fns...)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnstm-stress: %v\n", err)
+		os.Exit(1)
+	}
+
+	sum := 0
+	for _, v := range vars {
+		sum += v.Peek()
+	}
+	st := rt.Stats()
+	fmt.Printf("transfers: %d  audits: %d  final-sum: %d (want %d)\n",
+		transfers.Load(), audits.Load(), sum, total)
+	fmt.Printf("stats: begun=%d committed=%d aborted=%d conflicts=%d escalations=%d spin-saves=%d\n",
+		st.Begun, st.Committed, st.Aborted, st.Conflicts, st.Escalations, st.SpinSaves)
+	fmt.Printf("sched: dispatches=%d borrows=%d inline=%d serialized=%d handoffs=%d yields=%d\n",
+		st.Dispatches, st.BorrowDispatch, st.InlineChildren, st.SerializedFork, st.Handoffs, st.SlotYields)
+	fmt.Printf("bitnums: self-discards=%d remote-discards=%d borrow-switches=%d peak-parents=%d\n",
+		st.SelfDiscards, st.RemoteDiscards, st.BorrowSwitches, st.PeakParents)
+	if violations.Load() > 0 || sum != total {
+		fmt.Fprintln(os.Stderr, "INVARIANT VIOLATED")
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}

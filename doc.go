@@ -1,0 +1,69 @@
+// Package pnstm is a software transactional memory with parallel nesting:
+// transactions may fork parallel work, and the transactions started inside
+// run as parallel children of the enclosing transaction — at any depth —
+// while begin, commit and per-access conflict detection all stay O(1),
+// independent of nesting depth.
+//
+// It is a from-scratch Go reproduction of:
+//
+//	João Barreto, Aleksandar Dragojević, Paulo Ferreira, Rachid Guerraoui,
+//	Michał Kapałka. "Leveraging Parallel Nesting in Transactional Memory."
+//	PPoPP 2010.
+//
+// # Model
+//
+// A Runtime owns P worker slots and schedules fork–join blocks over them
+// (an XCilk-style work-stealing system, paper §3). Programs are trees of
+// atomic regions and parallel statements:
+//
+//	rt, _ := pnstm.New(pnstm.Config{Workers: 8})
+//	defer rt.Close()
+//
+//	acctA := pnstm.NewTVar(100)
+//	acctB := pnstm.NewTVar(50)
+//
+//	_ = rt.Run(func(c *pnstm.Ctx) {
+//	    _ = c.Atomic(func(c *pnstm.Ctx) error { // t0
+//	        c.Parallel(
+//	            func(c *pnstm.Ctx) { // t1, child of t0
+//	                _ = c.Atomic(func(c *pnstm.Ctx) error {
+//	                    pnstm.Store(c, acctA, pnstm.Load(c, acctA)-30)
+//	                    return nil
+//	                })
+//	            },
+//	            func(c *pnstm.Ctx) { // t2, child of t0
+//	                _ = c.Atomic(func(c *pnstm.Ctx) error {
+//	                    pnstm.Store(c, acctB, pnstm.Load(c, acctB)+30)
+//	                    return nil
+//	                })
+//	            },
+//	        )
+//	        fmt.Println("new balance:", pnstm.Load(c, acctB))
+//	        return nil
+//	    })
+//	})
+//
+// Two active transactions conflict when they access the same TVar and
+// neither is an ancestor of the other; the loser rolls back (including the
+// effects of its already-committed descendants) and retries with
+// randomized backoff. Accesses are write-accesses for conflict purposes,
+// as in the paper.
+//
+// # How it works
+//
+// Each active transaction is identified by a bitnum — an index into
+// one-word bit vectors — and carries its ancestor set as a single word, so
+// the ancestor test is two ALU instructions. Bitnums are recycled through
+// epochs (per-context logical clocks), committed masks and a background
+// publisher, and a parent-transaction limit plus bitnum borrowing lets the
+// bounded identifier space support unbounded transaction trees. See
+// DESIGN.md and the internal packages for the full machinery.
+//
+// # Restrictions
+//
+//   - Workers is at most 32 (the identifier space is 2P bits of one word).
+//   - A Ctx is confined to the goroutine that received it. Do not retain
+//     it past the enclosing Run/Atomic/Parallel call.
+//   - The transaction body may run several times (retry on conflict);
+//     side effects outside the TM must be idempotent or avoided.
+package pnstm

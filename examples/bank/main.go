@@ -1,0 +1,126 @@
+// Bank: a larger transactional banking workload exercising composability —
+// the property serial nesting destroys (paper §1). A batch-settlement
+// transaction calls a *parallel* library routine (parallel audit) from
+// inside a transaction; with serial nesting that call would serialize, here
+// it runs as a tree of parallel nested transactions.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"pnstm"
+)
+
+const (
+	accounts       = 256
+	initialBalance = 1_000
+	transferGroups = 8
+	transfersEach  = 200
+)
+
+// parallelSum is the "parallel library function": it sums a range of
+// accounts with a divide-and-conquer tree of nested transactions. Callers
+// may invoke it inside a transaction — that is the whole point.
+func parallelSum(c *pnstm.Ctx, vars []*pnstm.TVar[int], lo, hi int) int {
+	if hi-lo <= 32 {
+		total, _ := pnstm.AtomicResult(c, func(c *pnstm.Ctx) (int, error) {
+			s := 0
+			for _, v := range vars[lo:hi] {
+				s += pnstm.Load(c, v)
+			}
+			return s, nil
+		})
+		return total
+	}
+	mid := (lo + hi) / 2
+	var left, right int
+	c.Parallel(
+		func(c *pnstm.Ctx) { left = parallelSum(c, vars, lo, mid) },
+		func(c *pnstm.Ctx) { right = parallelSum(c, vars, mid, hi) },
+	)
+	return left + right
+}
+
+func main() {
+	rt, err := pnstm.New(pnstm.Config{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	vars := make([]*pnstm.TVar[int], accounts)
+	for i := range vars {
+		vars[i] = pnstm.NewTVar(initialBalance)
+	}
+	want := accounts * initialBalance
+
+	start := time.Now()
+	err = rt.Run(func(c *pnstm.Ctx) {
+		fns := make([]func(*pnstm.Ctx), transferGroups+1)
+		for g := 0; g < transferGroups; g++ {
+			rng := rand.New(rand.NewSource(int64(g) + 42))
+			fns[g] = func(c *pnstm.Ctx) {
+				for i := 0; i < transfersEach; i++ {
+					from, to, amt := rng.Intn(accounts), rng.Intn(accounts), rng.Intn(100)
+					_ = c.Atomic(func(c *pnstm.Ctx) error {
+						c.Parallel(
+							func(c *pnstm.Ctx) {
+								_ = c.Atomic(func(c *pnstm.Ctx) error {
+									pnstm.Update(c, vars[from], func(v int) int { return v - amt })
+									return nil
+								})
+							},
+							func(c *pnstm.Ctx) {
+								_ = c.Atomic(func(c *pnstm.Ctx) error {
+									pnstm.Update(c, vars[to], func(v int) int { return v + amt })
+									return nil
+								})
+							},
+						)
+						return nil
+					})
+				}
+			}
+		}
+		// Concurrent auditor: a transaction that calls the parallel
+		// library function. Every observed sum must equal the total.
+		fns[transferGroups] = func(c *pnstm.Ctx) {
+			for round := 0; round < 10; round++ {
+				sum, err := pnstm.AtomicResult(c, func(c *pnstm.Ctx) (int, error) {
+					return parallelSum(c, vars, 0, accounts), nil
+				})
+				if err != nil {
+					log.Fatalf("audit: %v", err)
+				}
+				status := "OK"
+				if sum != want {
+					status = "VIOLATION"
+				}
+				fmt.Printf("audit %2d: total=%d %s\n", round, sum, status)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		c.Parallel(fns...)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	final := 0
+	for _, v := range vars {
+		final += v.Peek()
+	}
+	st := rt.Stats()
+	fmt.Printf("\n%d transfers in %v; final total %d (want %d)\n",
+		transferGroups*transfersEach, time.Since(start).Round(time.Millisecond), final, want)
+	fmt.Printf("commits=%d aborts=%d conflicts=%d escalations=%d\n",
+		st.Committed, st.Aborted, st.Conflicts, st.Escalations)
+	if final != want {
+		log.Fatal("conservation violated")
+	}
+}

@@ -1,0 +1,146 @@
+// Gameserver: an Atomic-Quake-style workload (Zyulkyarov et al., cited in
+// the paper's §1 as evidence that real transactional programs nest deeply).
+// The world is a grid of cells; each simulation tick is one transaction
+// that updates all regions in parallel nested transactions. Entities near
+// region borders touch neighbouring regions' cells, so sibling region
+// transactions genuinely conflict sometimes and must retry — yet every
+// tick commits atomically.
+//
+//	go run ./examples/gameserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"pnstm"
+)
+
+const (
+	worldSize = 64 // cells per side
+	regions   = 4  // regions per side (16 region transactions per tick)
+	entities  = 200
+	ticks     = 20
+)
+
+type cell struct {
+	Occupants int
+	Damage    int
+}
+
+type entity struct {
+	x, y int
+	hp   int
+}
+
+func main() {
+	rt, err := pnstm.New(pnstm.Config{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	grid := make([]*pnstm.TVar[cell], worldSize*worldSize)
+	for i := range grid {
+		grid[i] = pnstm.NewTVar(cell{})
+	}
+	at := func(x, y int) *pnstm.TVar[cell] {
+		return grid[(y&(worldSize-1))*worldSize+(x&(worldSize-1))]
+	}
+
+	ents := make([]*pnstm.TVar[entity], entities)
+	rng := rand.New(rand.NewSource(7))
+	for i := range ents {
+		ents[i] = pnstm.NewTVar(entity{x: rng.Intn(worldSize), y: rng.Intn(worldSize), hp: 100})
+	}
+	// Entities are partitioned by home region for the tick update.
+	regionOf := func(e entity) int {
+		rs := worldSize / regions
+		return (e.y/rs)*regions + e.x/rs
+	}
+
+	start := time.Now()
+	var moves int
+	err = rt.Run(func(c *pnstm.Ctx) {
+		// Place every entity on its starting cell atomically.
+		if err := c.Atomic(func(c *pnstm.Ctx) error {
+			for _, ev := range ents {
+				e := pnstm.Load(c, ev)
+				cv := at(e.x, e.y)
+				cc := pnstm.Load(c, cv)
+				cc.Occupants++
+				pnstm.Store(c, cv, cc)
+			}
+			return nil
+		}); err != nil {
+			return
+		}
+		for tick := 0; tick < ticks; tick++ {
+			seed := int64(tick)
+			// One tick = one atomic world update.
+			err := c.Atomic(func(c *pnstm.Ctx) error {
+				fns := make([]func(*pnstm.Ctx), regions*regions)
+				for r := range fns {
+					r := r
+					fns[r] = func(c *pnstm.Ctx) {
+						// Region transaction: move this region's entities;
+						// a move may write cells of a neighbouring region
+						// (border crossing), conflicting with its sibling.
+						_ = c.Atomic(func(c *pnstm.Ctx) error {
+							rr := rand.New(rand.NewSource(seed*1000 + int64(r)))
+							for _, ev := range ents {
+								e := pnstm.Load(c, ev)
+								if regionOf(e) != r {
+									continue
+								}
+								// Leave the old cell, enter the next one.
+								old := at(e.x, e.y)
+								oc := pnstm.Load(c, old)
+								oc.Occupants--
+								pnstm.Store(c, old, oc)
+								e.x += rr.Intn(3) - 1
+								e.y += rr.Intn(3) - 1
+								e.x &= worldSize - 1
+								e.y &= worldSize - 1
+								nw := at(e.x, e.y)
+								nc := pnstm.Load(c, nw)
+								nc.Occupants++
+								nc.Damage += rr.Intn(3)
+								pnstm.Store(c, nw, nc)
+								pnstm.Store(c, ev, e)
+							}
+							return nil
+						})
+					}
+				}
+				c.Parallel(fns...)
+				return nil
+			})
+			if err != nil {
+				return
+			}
+			moves++
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// World consistency: net occupancy must equal the entity count.
+	occ := 0
+	for _, cv := range grid {
+		occ += cv.Peek().Occupants
+	}
+	st := rt.Stats()
+	fmt.Printf("%d ticks (%d region txs) in %v\n",
+		moves, moves*regions*regions, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("net occupancy %d (want %d)\n", occ, entities)
+	fmt.Printf("commits=%d aborts=%d conflicts=%d spin-saves=%d escalations=%d\n",
+		st.Committed, st.Aborted, st.Conflicts, st.SpinSaves, st.Escalations)
+	if occ != entities {
+		log.Fatal("world corrupted: occupancy mismatch")
+	}
+	fmt.Println("world consistent")
+}

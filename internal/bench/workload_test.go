@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSyntheticConfigValidation(t *testing.T) {
+	if _, err := RunSynthetic(SyntheticConfig{Leaves: 0}); err == nil {
+		t.Fatal("Leaves=0 accepted")
+	}
+	if _, err := RunSynthetic(SyntheticConfig{Leaves: 4, Depth: 3}); err == nil {
+		t.Fatal("2^D > N accepted")
+	}
+	if _, err := RunSynthetic(SyntheticConfig{Leaves: 4, ThinkMax: -1}); err == nil {
+		t.Fatal("negative think accepted")
+	}
+}
+
+func TestSyntheticSmallRunParallel(t *testing.T) {
+	res, err := RunSynthetic(SyntheticConfig{
+		Leaves: 8, Depth: 1, Objects: 64, ThinkMax: 0, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TxTimes) != 8 {
+		t.Fatalf("TxTimes = %d entries", len(res.TxTimes))
+	}
+	for i, d := range res.TxTimes {
+		if d <= 0 {
+			t.Fatalf("leaf %d has no recorded time", i)
+		}
+	}
+	// 8 leaves + 2 internal nodes + 1 root transaction.
+	if res.Stats.Committed < 11 {
+		t.Fatalf("committed %d transactions", res.Stats.Committed)
+	}
+	if res.MeanTxTime() <= 0 {
+		t.Fatal("MeanTxTime = 0")
+	}
+}
+
+func TestSyntheticSerialMatchesParallelEffects(t *testing.T) {
+	// Both modes must complete and touch every object; the serial run
+	// must not use the scheduler.
+	ser, err := RunSynthetic(SyntheticConfig{
+		Leaves: 4, Depth: 1, Objects: 32, Workers: 1, Serial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Stats.Dispatches != 0 {
+		t.Fatalf("serial run dispatched blocks: %+v", ser.Stats)
+	}
+	par, err := RunSynthetic(SyntheticConfig{
+		Leaves: 4, Depth: 1, Objects: 32, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats.Dispatches == 0 {
+		t.Fatal("parallel run did not dispatch")
+	}
+}
+
+func TestSyntheticDegenerateSingleLeaf(t *testing.T) {
+	res, err := RunSynthetic(SyntheticConfig{Leaves: 1, Depth: 0, Objects: 16, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TxTimes) != 1 || res.TxTimes[0] <= 0 {
+		t.Fatalf("TxTimes = %v", res.TxTimes)
+	}
+}
+
+func TestSyntheticThinkTimeDominatesSerialWall(t *testing.T) {
+	think := 2 * time.Millisecond
+	res, err := RunSynthetic(SyntheticConfig{
+		Leaves: 8, Depth: 0, Objects: 8, ThinkMax: think, Workers: 1, Serial: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial wall must be at least the sum of think times, which is ~8 *
+	// think/2 on average; use a loose lower bound.
+	if res.Wall < 4*time.Millisecond {
+		t.Fatalf("serial wall %v too small for sleeping leaves", res.Wall)
+	}
+}
+
+func TestDepthsFor(t *testing.T) {
+	cases := []struct{ n, max, want int }{
+		{1, 6, 0}, {2, 6, 1}, {4, 6, 2}, {64, 6, 6}, {64, 3, 3}, {8, 6, 3},
+	}
+	for _, c := range cases {
+		if got := depthsFor(c.n, c.max); got != c.want {
+			t.Errorf("depthsFor(%d,%d) = %d, want %d", c.n, c.max, got, c.want)
+		}
+	}
+}
+
+func TestFig6SmallGrid(t *testing.T) {
+	fig, err := Fig6(FigureConfig{
+		LeafCounts: []int{1, 4},
+		MaxDepth:   2,
+		Objects:    32,
+		ThinkMax:   200 * time.Microsecond,
+		Workers:    4,
+		Repeats:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Grid) != 2 {
+		t.Fatalf("rows = %d", len(fig.Grid))
+	}
+	// N=1: only D=0 valid.
+	if !fig.Grid[0][0].Valid || fig.Grid[0][1].Valid {
+		t.Fatalf("N=1 validity wrong: %+v", fig.Grid[0])
+	}
+	// N=4: D=0..2 valid.
+	for d := 0; d <= 2; d++ {
+		if !fig.Grid[1][d].Valid {
+			t.Fatalf("N=4 D=%d invalid", d)
+		}
+		if fig.Grid[1][d].Value <= 0 {
+			t.Fatalf("speedup = %v", fig.Grid[1][d].Value)
+		}
+	}
+	var sb strings.Builder
+	fig.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "N\\D") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	sb.Reset()
+	fig.RenderDetail(&sb)
+	if !strings.Contains(sb.String(), "wall") {
+		t.Fatalf("detail output:\n%s", sb.String())
+	}
+}
+
+func TestFig7SmallGrid(t *testing.T) {
+	fig, err := Fig7(FigureConfig{
+		LeafCounts: []int{1, 4, 8},
+		MaxDepth:   2,
+		Objects:    64,
+		ThinkMax:   0,
+		Workers:    4,
+		Repeats:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N=1 dropped (paper starts Fig. 7 at N=2).
+	if len(fig.Grid) != 2 {
+		t.Fatalf("rows = %d", len(fig.Grid))
+	}
+	for _, row := range fig.Grid {
+		if !row[0].Valid || row[0].Value != 1.0 {
+			t.Fatalf("D=0 not normalized: %+v", row[0])
+		}
+	}
+}

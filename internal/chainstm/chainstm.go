@@ -1,0 +1,220 @@
+// Package chainstm is a parallel-nested STM whose transaction-handling
+// costs grow with nesting depth. It exists as the contrast baseline for
+// the bit-vector STM in internal/core.
+//
+// It implements the design the paper argues against (§4.2 "on-commit
+// bitnum reclaiming" and the NesTM discussion in §8):
+//
+//   - ancestor queries walk the parent chain — O(depth) per access;
+//   - commit eagerly propagates ownership of every written object to the
+//     parent — O(write-set) per commit, and the same object is re-merged
+//     at every ancestor level, so the total reclaiming work is multiplied
+//     by the nesting depth.
+//
+// The public surface is deliberately minimal: Begin/Commit/Abort plus
+// Load/Store on objects. Callers bring their own parallelism (the
+// benchmarks in the root package drive it from the same workloads as the
+// bit-vector STM).
+package chainstm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConflict is returned by accesses that lose a conflict; the caller
+// aborts and retries.
+var ErrConflict = errors.New("chainstm: conflict")
+
+// Status values of a transaction.
+const (
+	statusActive int32 = iota
+	statusCommitted
+	statusAborted
+)
+
+// Tx is a transaction descriptor. Its position in the tree is its parent
+// pointer; every ancestor query walks the chain.
+type Tx struct {
+	parent *Tx
+	depth  int
+	status atomic.Int32
+
+	// undo holds this transaction's write records, spliced into the
+	// parent at commit so aborting an ancestor undoes the whole subtree.
+	mu       sync.Mutex
+	undoHead *writeRec
+	undoTail *writeRec
+}
+
+type writeRec struct {
+	obj      *Obj
+	saved    any
+	oldOwner *Tx
+	next     *writeRec
+}
+
+// Obj is one transactional memory location with eager ownership: owner is
+// the innermost active transaction that wrote it, nil when quiescent.
+type Obj struct {
+	mu    sync.Mutex
+	val   any
+	owner *Tx
+}
+
+// NewObj returns an object holding initial.
+func NewObj(initial any) *Obj { return &Obj{val: initial} }
+
+// Peek reads without transactional bookkeeping (quiescent use only).
+func (o *Obj) Peek() any { return o.val }
+
+// Begin starts a transaction as a child of parent (nil for a root). O(1).
+func Begin(parent *Tx) *Tx {
+	t := &Tx{parent: parent}
+	if parent != nil {
+		t.depth = parent.depth + 1
+	}
+	return t
+}
+
+// Depth returns the transaction's nesting depth (root = 0).
+func (t *Tx) Depth() int { return t.depth }
+
+// IsAncestor walks t's parent chain looking for a — the O(depth) ancestor
+// query this package exists to demonstrate (a counts as its own ancestor).
+func IsAncestor(a, t *Tx) bool {
+	for p := t; p != nil; p = p.parent {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Store writes o inside t, returning ErrConflict when a non-ancestor
+// active transaction owns the object.
+func (t *Tx) Store(o *Obj, v any) error {
+	if err := t.own(o); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	o.val = v
+	o.mu.Unlock()
+	return nil
+}
+
+// Load reads o inside t. Reads are treated as writes for conflict
+// purposes, mirroring the write-only model of the evaluation.
+func (t *Tx) Load(o *Obj) (any, error) {
+	if err := t.own(o); err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	v := o.val
+	o.mu.Unlock()
+	return v, nil
+}
+
+// own acquires ownership of o for t.
+func (t *Tx) own(o *Obj) error {
+	if t.status.Load() != statusActive {
+		return fmt.Errorf("chainstm: access in %s transaction", t.statusName())
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.owner == t {
+		return nil
+	}
+	if o.owner != nil && !IsAncestor(o.owner, t) {
+		return ErrConflict
+	}
+	t.pushUndo(o, o.val, o.owner)
+	o.owner = t
+	return nil
+}
+
+func (t *Tx) pushUndo(o *Obj, saved any, oldOwner *Tx) {
+	r := &writeRec{obj: o, saved: saved, oldOwner: oldOwner, next: t.undoHead}
+	t.undoHead = r
+	if t.undoTail == nil {
+		t.undoTail = r
+	}
+}
+
+// Commit finishes t: ownership of every written object moves to the
+// parent — the eager O(write-set) merge repeated at every nesting level —
+// and the undo log is spliced into the parent for cascading aborts.
+func (t *Tx) Commit() error {
+	if !t.status.CompareAndSwap(statusActive, statusCommitted) {
+		return fmt.Errorf("chainstm: commit of %s transaction", t.statusName())
+	}
+	for r := t.undoHead; r != nil; r = r.next {
+		o := r.obj
+		o.mu.Lock()
+		if o.owner == t {
+			o.owner = t.parent
+		}
+		o.mu.Unlock()
+	}
+	if p := t.parent; p != nil && t.undoHead != nil {
+		p.mu.Lock()
+		t.undoTail.next = p.undoHead
+		p.undoHead = t.undoHead
+		if p.undoTail == nil {
+			p.undoTail = t.undoTail
+		}
+		p.mu.Unlock()
+	}
+	t.undoHead, t.undoTail = nil, nil
+	return nil
+}
+
+// Abort rolls t back, restoring values and previous owners newest-first
+// (including writes merged from committed descendants).
+func (t *Tx) Abort() error {
+	if !t.status.CompareAndSwap(statusActive, statusAborted) {
+		return fmt.Errorf("chainstm: abort of %s transaction", t.statusName())
+	}
+	for r := t.undoHead; r != nil; r = r.next {
+		o := r.obj
+		o.mu.Lock()
+		o.val = r.saved
+		o.owner = r.oldOwner
+		o.mu.Unlock()
+	}
+	t.undoHead, t.undoTail = nil, nil
+	return nil
+}
+
+func (t *Tx) statusName() string {
+	switch t.status.Load() {
+	case statusActive:
+		return "active"
+	case statusCommitted:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// Atomic runs fn as a child transaction of parent with retry-on-conflict,
+// the convenience driver used by benchmarks. fn returns ErrConflict (or
+// wraps it) to request a retry.
+func Atomic(parent *Tx, fn func(*Tx) error) error {
+	for {
+		t := Begin(parent)
+		err := fn(t)
+		if err == nil {
+			return t.Commit()
+		}
+		_ = t.Abort()
+		if errors.Is(err, ErrConflict) {
+			runtime.Gosched()
+			continue
+		}
+		return err
+	}
+}

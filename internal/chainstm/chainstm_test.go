@@ -1,0 +1,236 @@
+package chainstm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestBasicCommit(t *testing.T) {
+	o := NewObj(1)
+	tx := Begin(nil)
+	if err := tx.Store(o, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx.Load(o); err != nil || v != 2 {
+		t.Fatalf("Load = %v, %v", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Peek() != 2 {
+		t.Fatalf("Peek = %v", o.Peek())
+	}
+	if o.owner != nil {
+		t.Fatal("root commit left an owner")
+	}
+}
+
+func TestAbortRestoresValueAndOwner(t *testing.T) {
+	o := NewObj("before")
+	tx := Begin(nil)
+	if err := tx.Store(o, "after"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Peek() != "before" || o.owner != nil {
+		t.Fatalf("Peek=%v owner=%v", o.Peek(), o.owner)
+	}
+}
+
+func TestChildInheritsParentOwnership(t *testing.T) {
+	o := NewObj(0)
+	parent := Begin(nil)
+	if err := parent.Store(o, 1); err != nil {
+		t.Fatal(err)
+	}
+	child := Begin(parent)
+	if err := child.Store(o, 2); err != nil {
+		t.Fatalf("child conflicting with ancestor: %v", err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Ownership propagated back to the parent at child commit.
+	if o.owner != parent {
+		t.Fatalf("owner = %v, want parent", o.owner)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Peek() != 2 || o.owner != nil {
+		t.Fatalf("Peek=%v owner=%v", o.Peek(), o.owner)
+	}
+}
+
+func TestConcurrentSiblingsConflict(t *testing.T) {
+	o := NewObj(0)
+	parent := Begin(nil)
+	c1 := Begin(parent)
+	c2 := Begin(parent)
+	if err := c1.Store(o, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Store(o, 2); !errors.Is(err, ErrConflict) {
+		t.Fatalf("sibling conflict not detected: %v", err)
+	}
+	if err := c1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// After c1 commits into parent, c2 (a child of parent) may write.
+	if err := c2.Store(o, 2); err != nil {
+		t.Fatalf("post-commit access: %v", err)
+	}
+}
+
+func TestParentAbortUndoesCommittedChild(t *testing.T) {
+	o := NewObj(10)
+	parent := Begin(nil)
+	child := Begin(parent)
+	if err := child.Store(o, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Peek() != 10 || o.owner != nil {
+		t.Fatalf("Peek=%v owner=%v", o.Peek(), o.owner)
+	}
+}
+
+func TestDeepChainAncestorAccess(t *testing.T) {
+	o := NewObj(0)
+	root := Begin(nil)
+	if err := root.Store(o, -1); err != nil {
+		t.Fatal(err)
+	}
+	cur := root
+	const depth = 64
+	for d := 1; d <= depth; d++ {
+		cur = Begin(cur)
+		if cur.Depth() != d {
+			t.Fatalf("depth = %d, want %d", cur.Depth(), d)
+		}
+		if err := cur.Store(o, d); err != nil {
+			t.Fatalf("depth %d: %v", d, err)
+		}
+	}
+	for cur != nil {
+		if err := cur.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		cur = cur.parent
+	}
+	if o.Peek() != depth || o.owner != nil {
+		t.Fatalf("Peek=%v owner=%v", o.Peek(), o.owner)
+	}
+}
+
+func TestDoubleCommitAndUseAfterCommit(t *testing.T) {
+	tx := Begin(nil)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+	if err := tx.Store(NewObj(0), 1); err == nil {
+		t.Fatal("access after commit accepted")
+	}
+	if err := tx.Abort(); err == nil {
+		t.Fatal("abort after commit accepted")
+	}
+}
+
+func TestAtomicRetries(t *testing.T) {
+	o := NewObj(0)
+	const goroutines = 8
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := Atomic(nil, func(tx *Tx) error {
+					v, err := tx.Load(o)
+					if err != nil {
+						return err
+					}
+					return tx.Store(o, v.(int)+1)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if o.Peek() != goroutines*perG {
+		t.Fatalf("counter = %v, want %d", o.Peek(), goroutines*perG)
+	}
+}
+
+func TestAtomicUserError(t *testing.T) {
+	o := NewObj(5)
+	boom := errors.New("boom")
+	err := Atomic(nil, func(tx *Tx) error {
+		if err := tx.Store(o, 6); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if o.Peek() != 5 {
+		t.Fatalf("rollback failed: %v", o.Peek())
+	}
+}
+
+func TestParallelNestedSiblingsUnderOneParent(t *testing.T) {
+	// The chainstm equivalent of the Figure-1 transfer.
+	a, b := NewObj(100), NewObj(50)
+	parent := Begin(nil)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = Atomic(parent, func(tx *Tx) error {
+			v, err := tx.Load(a)
+			if err != nil {
+				return err
+			}
+			return tx.Store(a, v.(int)-30)
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		errs[1] = Atomic(parent, func(tx *Tx) error {
+			v, err := tx.Load(b)
+			if err != nil {
+				return err
+			}
+			return tx.Store(b, v.(int)+30)
+		})
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Peek() != 70 || b.Peek() != 80 {
+		t.Fatalf("a=%v b=%v", a.Peek(), b.Peek())
+	}
+}

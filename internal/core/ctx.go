@@ -1,0 +1,461 @@
+package core
+
+import (
+	"time"
+
+	"pnstm/internal/bitvec"
+	"pnstm/internal/epoch"
+)
+
+// Ctx is an execution context: the paper's "thread Ti" state (§3) bound to
+// whatever worker slot currently runs this block. It carries the current
+// epoch, the current transaction, the live (erased) ancestor set and the
+// committed-descendant notes.
+//
+// A Ctx is confined to one goroutine; contexts are handed to block
+// programs and must not be shared or retained past the block's lifetime.
+type Ctx struct {
+	rt    *Runtime
+	block *block
+	slot  *slot
+
+	// ep is the context's current epoch (paper Ti.ep). Monotone.
+	ep epoch.Epoch
+
+	// bn is the bitnum this context's transactions use: the block's
+	// reserved bitnum, or the base transaction's after borrowing.
+	bn bitvec.Bitnum
+
+	// baseTx is the transaction in which the current block-level code
+	// runs; cur is the innermost active transaction (== baseTx outside
+	// inner atomics). Both may be nil at a root block.
+	baseTx *txDesc
+	cur    *txDesc
+
+	// ancBase is the live ancestor set of cur (or of baseTx/nothing when
+	// no inner transaction is active): the begin-time snapshot with every
+	// erasure applied (§6.2). Entries are pushed with this value.
+	ancBase bitvec.Vec
+
+	// comDesc holds the committed-but-possibly-unpublished descendant
+	// notes visible to this context (paper §5.2).
+	comDesc []comNote
+
+	// panicVal carries a panic out of the block program to finishBlock.
+	panicVal any
+
+	// aborts counts consecutive aborts of the innermost transaction, for
+	// backoff and slot yielding.
+	aborts int
+}
+
+// Epoch returns the context's current epoch (diagnostics).
+func (c *Ctx) Epoch() uint64 { return uint64(c.ep) }
+
+// InTx reports whether an atomic block is active.
+func (c *Ctx) InTx() bool { return c.cur != nil }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// adoptSlot binds the context to a worker slot and raises its epoch to at
+// least minEp, applying the §6.2 erase across the move. extraErase lists
+// additional epochs whose committed masks must be subtracted — in
+// particular the block's minimum epoch at dispatch, which is what catches
+// unilaterally discarded ancestor bitnums when the dispatch epoch jumps
+// past their publication horizon (DESIGN.md D11).
+func (c *Ctx) adoptSlot(sl *slot, minEp epoch.Epoch, extraErase ...epoch.Epoch) {
+	target := epoch.Max(c.ep, minEp)
+	eps := append(extraErase, c.ep, target)
+	c.ancBase = c.rt.st.Erase(c.ancBase, eps...)
+	c.ep = target
+	c.slot = sl
+	sl.publish(target)
+}
+
+// advanceEpoch moves the context one epoch forward (paper commitTx line 2),
+// running the §6.2 erase first.
+func (c *Ctx) advanceEpoch() {
+	if !c.rt.cfg.Serial {
+		c.ancBase = c.rt.st.Erase(c.ancBase, c.ep, c.ep+1)
+	}
+	c.ep++
+	if c.slot != nil {
+		c.slot.publish(c.ep)
+	}
+}
+
+// refreshAnc re-applies the erase to the live ancestor set at the current
+// epoch (used on the conflict-test slow path, D11).
+func (c *Ctx) refreshAnc() {
+	c.ancBase = c.rt.st.Erase(c.ancBase, c.ep)
+}
+
+// noteBlockPanic records a panic raised by the block program so
+// finishBlock can propagate it through the join.
+func (c *Ctx) noteBlockPanic(v any) { c.panicVal = v }
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+// Atomic runs fn as a transaction: a child of the block's base transaction,
+// or a root transaction when none is active. Conflicts roll the transaction
+// back and retry fn with randomized backoff; a non-nil error from fn aborts
+// the transaction (all its writes, including those of already committed
+// descendants, are undone) and is returned.
+//
+// An Atomic inside an Atomic is the paper's footnote-3 case: it runs as a
+// single-child transaction borrowing the parent's bitnum, exactly as if the
+// program had been rewritten atomic{ parallel{ atomic{...} } }.
+func (c *Ctx) Atomic(fn func(*Ctx) error) error {
+	if c.cur != c.baseTx {
+		// Nested atomic: re-base so the new transaction is a child of the
+		// innermost one (implicit single-child parallel block).
+		saved := c.baseTx
+		c.baseTx = c.cur
+		c.rt.stats.inlineChildren.Add(1)
+		err := c.Atomic(fn)
+		c.baseTx = saved
+		return err
+	}
+	c.aborts = 0
+	for {
+		tx := c.begin()
+		err, conflicted, pval, panicked := c.runBody(fn)
+		switch {
+		case conflicted:
+			c.rollback(tx)
+			c.popTx(tx)
+			c.rt.stats.aborted.Add(1)
+			c.aborts++
+			if c.mergedVictim() && tx.parent != nil {
+				// This block's bitnum was unilaterally discarded: its
+				// transactions run under the base transaction's identity,
+				// so siblings may already have read its (now undone)
+				// writes. Retrying locally could commit tainted state
+				// elsewhere — the only consistent resolution is to abort
+				// the whole base transaction (D16).
+				c.rt.stats.escalations.Add(1)
+				panic(conflictSignal{})
+			}
+			if tx.parent != nil && c.aborts >= c.rt.cfg.EscalateAfterAborts {
+				// Nesting-aware contention management: retrying here can
+				// deadlock when the conflicting entry belongs to another
+				// parked parent's lineage (its committed child's write).
+				// Propagate the conflict upward instead — the parent's
+				// Atomic catches the signal (directly for inline children,
+				// via the join's panic channel for forked blocks), rolls
+				// back everything its subtree committed, and retries the
+				// whole fork with backoff.
+				c.rt.stats.escalations.Add(1)
+				c.aborts = 0
+				panic(conflictSignal{})
+			}
+			c.backoff()
+		case panicked:
+			c.rollback(tx)
+			c.popTx(tx)
+			c.rt.stats.userAbort.Add(1)
+			panic(pval)
+		case err != nil:
+			c.rollback(tx)
+			c.popTx(tx)
+			c.rt.stats.userAbort.Add(1)
+			return err
+		default:
+			c.commit(tx)
+			return nil
+		}
+	}
+}
+
+// runBody invokes fn, translating a conflictSignal unwind into the
+// conflicted flag and capturing user panics.
+func (c *Ctx) runBody(fn func(*Ctx) error) (err error, conflicted bool, pval any, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(conflictSignal); ok {
+				conflicted = true
+				return
+			}
+			pval, panicked = r, true
+		}
+	}()
+	err = fn(c)
+	return
+}
+
+// begin starts a transaction (paper beginTx): O(1), no locking.
+func (c *Ctx) begin() *txDesc {
+	// A remote (unilateral) discard of the block's bitnum switches every
+	// subsequent transaction to borrowed mode (§6.2).
+	if c.block != nil && !c.block.borrowed && c.baseTx != nil &&
+		c.bn != c.baseTx.bitnum && c.block.bnDiscarded.Load() {
+		c.bn = c.baseTx.bitnum
+		c.rt.stats.borrowSwitch.Add(1)
+	}
+	borrowed := c.cur != nil && c.cur.bitnum == c.bn
+	anc := c.ancBase
+	if borrowed {
+		// Distinct epochs separate a borrowed child's pushes from its
+		// parent's, preserving per-child undo granularity (D4).
+		c.advanceEpoch()
+		// A borrowed transaction's identity IS its parent's: use the live
+		// ancestor set as-is. Re-adding the bitnum would resurrect it if
+		// the parent's bitnum was unilaterally discarded and erased (D11).
+		anc = c.ancBase
+	} else {
+		// A freshly reserved bitnum is never stale; add it.
+		anc = c.ancBase.Add(c.bn)
+	}
+	tx := &txDesc{
+		bitnum:   c.bn,
+		anc:      anc,
+		beginEp:  c.ep,
+		parent:   c.cur,
+		borrowed: borrowed,
+	}
+	c.cur = tx
+	c.ancBase = tx.anc
+	c.rt.stats.begun.Add(1)
+	c.rt.hook("BEGIN bn=%v borrowed=%v anc=%v ep=%d block=%p", tx.bitnum, borrowed, tx.anc, c.ep, c.block)
+	return tx
+}
+
+// commit finishes the current transaction (paper commitTx): record the
+// commit epoch for the publisher (unless borrowed, D4), advance the epoch,
+// and splice the undo log into the parent in O(1).
+func (c *Ctx) commit(tx *txDesc) {
+	if !tx.borrowed && !c.rt.cfg.Serial && !c.bnWasDiscarded(tx) {
+		c.rt.st.RecordCommit(tx.bitnum, c.ep)
+	}
+	c.advanceEpoch()
+	if tx.parent != nil {
+		tx.spliceInto(tx.parent)
+	}
+	c.popTx(tx)
+	c.rt.stats.committed.Add(1)
+}
+
+// bnWasDiscarded reports whether tx's bitnum was discarded out from under
+// its block (unilateral discard, §6.2). Such a transaction must not
+// publish commits: its bitnum's committed masks are finalized and the
+// bitnum may already be re-used (D11).
+func (c *Ctx) bnWasDiscarded(tx *txDesc) bool {
+	return c.block != nil && tx.bitnum == c.block.bn && c.block.bnDiscarded.Load()
+}
+
+// mergedVictim reports whether this context's block had its bitnum
+// unilaterally discarded while running: its transactions have been merged
+// into the base transaction's identity. (A self-discard only happens at
+// block finish, after the last transaction; a steal-borrowed block never
+// reserved a bitnum.)
+func (c *Ctx) mergedVictim() bool {
+	return c.block != nil && !c.block.borrowed && c.block.bn.Valid() &&
+		c.block.bnDiscarded.Load()
+}
+
+// popTx restores the context to the parent transaction. The parent's
+// ancestor set is a begin-time snapshot, so the erase is applied against
+// the parent's begin epoch as well as the current one: a unilaterally
+// discarded bitnum is always published through any epoch at which it was
+// still in a live ancestor set (D11).
+func (c *Ctx) popTx(tx *txDesc) {
+	c.cur = tx.parent
+	if c.cur != nil {
+		if c.rt.cfg.Serial {
+			c.ancBase = c.cur.anc
+		} else {
+			c.ancBase = c.rt.st.Erase(c.cur.anc, c.cur.beginEp, c.ep)
+		}
+	} else {
+		c.ancBase = 0
+	}
+}
+
+// rollback undoes every write of tx — its own and those merged from
+// committed descendants — newest first, popping the matching stack
+// entries. A rolling-back transaction has no active descendants (only the
+// innermost running transaction aborts), so its entries are on top of
+// every stack it touched.
+func (c *Ctx) rollback(tx *txDesc) {
+	serial := c.rt.cfg.Serial
+	// floors remembers, per object, the oldest (lowest-seq) record restored
+	// so far. After a unilateral discard, splice order can disagree with
+	// per-object stack order (a merged victim's entries may sit below a
+	// sibling's), so value restoration must be guarded: only a record
+	// older than everything restored so far may write the value (D16).
+	// The map is allocated lazily — only when a second record touches an
+	// already-restored object out of the common LIFO pattern.
+	var floors map[*Object]uint64
+	for r := tx.undoHead; r != nil; r = r.next {
+		o := r.obj
+		if r.read {
+			// Retract the reader entry: an aborted reader's bitnum is
+			// never published, so leaving it would block non-ancestor
+			// writers until the block's discard (D16).
+			o.mu.lock()
+			o.readers.retract(r.anc, r.ep)
+			o.mu.unlock()
+			continue
+		}
+		if serial {
+			o.val = r.saved
+			continue
+		}
+		o.mu.lock()
+		// Remove exactly this record's entry, wherever it sits (usually
+		// the top).
+		for i := len(o.stack) - 1; i >= o.head; i-- {
+			if o.stack[i].seq == r.seq {
+				copy(o.stack[i:], o.stack[i+1:])
+				o.stack[len(o.stack)-1] = objEntry{}
+				o.stack = o.stack[:len(o.stack)-1]
+				break
+			}
+		}
+		restore := true
+		if floor, ok := floors[o]; ok {
+			restore = r.seq < floor
+		}
+		if restore {
+			o.val = r.saved
+			if floors == nil {
+				floors = make(map[*Object]uint64, 8)
+			}
+			floors[o] = r.seq
+		}
+		o.mu.unlock()
+	}
+	tx.undoHead, tx.undoTail, tx.writes = nil, nil, 0
+}
+
+// backoff sleeps for a randomized, exponentially growing interval after an
+// abort, and yields the worker slot after repeated failures so that queued
+// blocks — possibly the descendants whose completion will resolve the
+// conflict — can run (DESIGN.md D6).
+func (c *Ctx) backoff() {
+	if c.rt.cfg.Serial {
+		return
+	}
+	if c.aborts >= c.rt.cfg.YieldAfterAborts && c.slot != nil {
+		c.rt.stats.slotYields.Add(1)
+		c.yieldSlot()
+	}
+	shift := c.aborts
+	if shift > 16 {
+		shift = 16
+	}
+	d := c.rt.cfg.BackoffBase << shift
+	if d > c.rt.cfg.BackoffMax {
+		d = c.rt.cfg.BackoffMax
+	}
+	if c.slot != nil && d > 0 {
+		d = time.Duration(c.slot.rng.Int63n(int64(d))) + 1
+	}
+	time.Sleep(d)
+}
+
+// yieldSlot releases the worker slot to the scheduler and re-acquires one,
+// letting queued blocks run in between.
+func (c *Ctx) yieldSlot() {
+	ch := make(chan *slot, 1)
+	c.rt.sched.parkWaiter(c.slot, ch)
+	c.slot = nil
+	sl := <-ch
+	c.adoptSlot(sl, c.ep)
+}
+
+// ---------------------------------------------------------------------------
+// Fork–join
+// ---------------------------------------------------------------------------
+
+// Parallel runs the given functions as parallel sibling blocks of the
+// current transaction (paper §3.1) and returns when all of them have
+// completed. Transactions they start become parallel children of the
+// current transaction.
+//
+// A single function runs inline as a single-child block, borrowing the
+// current bitnum (§6.2 case i). When the parent limiter is exhausted, the
+// leading functions are serialized inline — re-checking for capacity in
+// between — exactly as the paper degrades parallel{b1,..,bn} into b1
+// followed by parallel{b2,..,bn} (§6.2 case ii). In the serial-nesting
+// baseline mode every function runs inline.
+func (c *Ctx) Parallel(fns ...func(*Ctx)) {
+	if len(fns) == 0 {
+		return
+	}
+	if c.rt.cfg.Serial {
+		for _, fn := range fns {
+			c.runInlineChild(fn)
+		}
+		return
+	}
+	rest := fns
+	for len(rest) > 1 {
+		if c.rt.limiter.TryAcquire() {
+			break
+		}
+		c.rt.stats.serializedFork.Add(1)
+		c.runInlineChild(rest[0])
+		rest = rest[1:]
+	}
+	if len(rest) == 1 {
+		c.runInlineChild(rest[0])
+		return
+	}
+	// Limiter slot acquired: fork for real.
+	if c.cur != nil {
+		c.cur.liveBlocks.Add(int32(len(rest)))
+	}
+	j := newJoin(len(rest), c.ep)
+	snap := cloneNotes(c.comDesc)
+	blocks := make([]*block, len(rest))
+	for i, fn := range rest {
+		blocks[i] = &block{
+			program: fn,
+			baseTx:  c.cur,
+			minEp:   c.ep,
+			succ:    j,
+			comDesc: snap,
+		}
+	}
+	forkEp := c.ep
+	sl := c.slot
+	c.slot = nil
+	c.rt.sched.enqueueAndRelease(blocks, sl)
+	p := <-j.resume
+	c.rt.stats.handoffs.Add(1)
+	// The erase against the fork-time epoch catches bitnums whose discard
+	// was published while we were parked, even when the resume epoch jumps
+	// past their publication horizon (D11).
+	c.adoptSlot(p.slot, p.minEp, forkEp)
+	c.comDesc = mergeNotes(c.comDesc, p.comDesc)
+	c.rt.limiter.Release()
+	if p.ppanic {
+		panic(p.pval)
+	}
+}
+
+// runInlineChild runs fn as an inline single-child block: same goroutine,
+// same slot, same bitnum (its transactions borrow the current one's).
+func (c *Ctx) runInlineChild(fn func(*Ctx)) {
+	saved := c.baseTx
+	c.baseTx = c.cur
+	c.rt.stats.inlineChildren.Add(1)
+	defer func() { c.baseTx = saved }()
+	fn(c)
+}
+
+// ---------------------------------------------------------------------------
+// Accesses
+// ---------------------------------------------------------------------------
+
+// Load reads an object inside the current transaction. Per the paper
+// (§4.2), every access is treated as a write for conflict purposes.
+func (c *Ctx) Load(o *Object) any { return c.access(o, nil, false) }
+
+// Store writes an object inside the current transaction and returns the
+// previous value.
+func (c *Ctx) Store(o *Object, v any) any { return c.access(o, v, true) }

@@ -1,0 +1,14 @@
+package core
+
+import "sync"
+
+// objMutex guards one object's value and access stack. A thin wrapper so
+// the locking strategy can be swapped (e.g. for a spinlock) in one place;
+// the critical sections are a handful of word operations, so a futex-based
+// sync.Mutex is already close to optimal under low contention.
+type objMutex struct {
+	mu sync.Mutex
+}
+
+func (m *objMutex) lock()   { m.mu.Lock() }
+func (m *objMutex) unlock() { m.mu.Unlock() }

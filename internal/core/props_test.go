@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pnstm/internal/bitvec"
+	"pnstm/internal/epoch"
+)
+
+// Property tests on the core bookkeeping structures.
+
+// Undo splicing must preserve newest-first order and record counts across
+// arbitrary child/parent interleavings.
+func TestUndoSpliceProperties(t *testing.T) {
+	f := func(parentWrites, childWrites uint8, interleave bool) bool {
+		parent := &txDesc{}
+		child := &txDesc{parent: parent}
+		obj := NewObject(0)
+		seq := uint64(1)
+		var wantOrder []uint64
+
+		push := func(tx *txDesc) {
+			tx.pushUndo(obj, int(seq), seq)
+			wantOrder = append(wantOrder, seq)
+			seq++
+		}
+		pw, cw := int(parentWrites%8), int(childWrites%8)
+		if interleave {
+			for i := 0; i < pw || i < cw; i++ {
+				if i < pw {
+					push(parent)
+				}
+				if i < cw {
+					push(child)
+				}
+			}
+		} else {
+			for i := 0; i < pw; i++ {
+				push(parent)
+			}
+			for i := 0; i < cw; i++ {
+				push(child)
+			}
+		}
+		child.spliceInto(parent)
+		if child.undoHead != nil || child.undoTail != nil {
+			return false
+		}
+		// Collect the merged list; it must contain every record exactly
+		// once, and the child's records must appear before any parent
+		// record that is older than the splice point.
+		seen := map[uint64]bool{}
+		n := 0
+		for r := parent.undoHead; r != nil; r = r.next {
+			if seen[r.seq] {
+				return false
+			}
+			seen[r.seq] = true
+			n++
+		}
+		return n == len(wantOrder) && parent.writes == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// comNote bookkeeping: at most one live note per bitnum; cleaning drops
+// exactly the published notes; merging is idempotent.
+func TestComNoteProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 500; round++ {
+		var notes []comNote
+		used := map[bitvec.Bitnum]bool{}
+		for i := 0; i < rng.Intn(10); i++ {
+			n := comNote{bn: bitvec.Bitnum(rng.Intn(8)), ep: epoch.Epoch(rng.Intn(50))}
+			notes = addNote(notes, n)
+			used[n.bn] = true
+		}
+		// One note per bitnum.
+		seen := map[bitvec.Bitnum]bool{}
+		for _, n := range notes {
+			if seen[n.bn] {
+				t.Fatalf("duplicate note for %v: %+v", n.bn, notes)
+			}
+			seen[n.bn] = true
+		}
+		if len(notes) > len(used) {
+			t.Fatalf("more notes than bitnums: %+v", notes)
+		}
+		// Merging a clone into itself changes nothing.
+		merged := mergeNotes(cloneNotes(notes), notes)
+		if len(merged) != len(notes) {
+			t.Fatalf("self-merge changed size: %d != %d", len(merged), len(notes))
+		}
+	}
+}
+
+// cleanNotes drops exactly the notes whose bitnum is published at the note
+// epoch.
+func TestCleanNotesAgainstMasks(t *testing.T) {
+	rt := newRT(t, 2, func(c *Config) { c.PublisherStartPaused = true })
+	st := rt.st
+	st.Masks.Or(5, bitvec.Of(1))
+	st.Masks.Or(9, bitvec.Of(2))
+	notes := []comNote{
+		{bn: 1, ep: 5}, // published → dropped
+		{bn: 1, ep: 6}, // not published at 6 → kept
+		{bn: 2, ep: 9}, // published → dropped
+		{bn: 3, ep: 5}, // bn 3 never published → kept
+	}
+	out := rt.cleanNotes(notes)
+	if len(out) != 2 || out[0].ep != 6 || out[1].bn != 3 {
+		t.Fatalf("cleanNotes = %+v", out)
+	}
+}
+
+// Reader-set bookkeeping: recordReader refreshes within a transaction
+// window and appends otherwise; retract removes exactly one entry.
+func TestReaderSetProperties(t *testing.T) {
+	var rs readerSet
+	anc := bitvec.Of(0, 3)
+	if !rs.recordReader(anc, 1, 5) {
+		t.Fatal("first record must append")
+	}
+	if rs.recordReader(anc, 1, 7) {
+		t.Fatal("same window must refresh, not append")
+	}
+	if len(rs.entries) != 1 || rs.entries[0].ep != 7 {
+		t.Fatalf("entries = %+v", rs.entries)
+	}
+	// A later transaction with the same ancestor set (sequential sibling)
+	// has a window beyond the entry's epoch → appends.
+	if !rs.recordReader(anc, 10, 12) {
+		t.Fatal("new window must append")
+	}
+	if len(rs.entries) != 2 {
+		t.Fatalf("entries = %+v", rs.entries)
+	}
+	rs.retract(anc, 12)
+	if len(rs.entries) != 1 {
+		t.Fatalf("retract failed: %+v", rs.entries)
+	}
+	rs.retract(anc, 5) // matches the refreshed (ep=7) entry
+	if len(rs.entries) != 0 {
+		t.Fatalf("retract failed: %+v", rs.entries)
+	}
+	rs.retract(anc, 5) // no-op on empty
+}
+
+// Rollback with out-of-order records (the D16 interleaving) must restore
+// the oldest saved value and remove exactly the recorded entries.
+func TestRollbackOrderRobustness(t *testing.T) {
+	rt := newRT(t, 2)
+	_ = rt
+	o := NewObject("v0")
+	tx := &txDesc{}
+	// Simulate: entry seq 1 (saved v0), then seq 2 (saved v1), but the
+	// records arrive in splice order [older, newer] — i.e. the list head
+	// is the OLDER record, as can happen after a merged victim's abort
+	// splice races a sibling's commit splice.
+	o.stack = append(o.stack,
+		objEntry{anc: bitvec.Of(0), ep: 1, seq: 1},
+		objEntry{anc: bitvec.Of(0, 1), ep: 2, seq: 2},
+	)
+	o.pushSeq = 2
+	o.val = "v2"
+	// Build list with head = seq 1 (older first — the adversarial order).
+	tx.pushUndo(o, "v1", 2) // tail after next push
+	tx.pushUndo(o, "v0", 1) // head
+	ctx := &Ctx{rt: rt}
+	ctx.rollback(tx)
+	if got := o.Peek(); got != "v0" {
+		t.Fatalf("rollback restored %v, want v0", got)
+	}
+	if o.StackDepth() != 0 {
+		t.Fatalf("stack depth = %d", o.StackDepth())
+	}
+}
+
+// Randomized rollback property: push k entries with shuffled record order;
+// rollback must always restore the first saved value and empty the stack.
+func TestRollbackShuffledRecordsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rt := newRT(t, 2)
+	for round := 0; round < 200; round++ {
+		o := NewObject(0)
+		k := 1 + rng.Intn(6)
+		type rec struct {
+			seq   uint64
+			saved int
+		}
+		recs := make([]rec, k)
+		for i := 0; i < k; i++ {
+			seq := uint64(i + 1)
+			o.stack = append(o.stack, objEntry{anc: bitvec.Of(0), ep: epoch.Epoch(i), seq: seq})
+			recs[i] = rec{seq: seq, saved: i} // value before push i was i
+		}
+		o.pushSeq = uint64(k)
+		o.val = k
+		rng.Shuffle(k, func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+		tx := &txDesc{}
+		for i := k - 1; i >= 0; i-- { // pushUndo prepends; list order = recs order
+			tx.pushUndo(o, recs[i].saved, recs[i].seq)
+		}
+		ctx := &Ctx{rt: rt}
+		ctx.rollback(tx)
+		if got := o.Peek(); got != 0 {
+			t.Fatalf("round %d: restored %v, want 0 (recs %+v)", round, got, recs)
+		}
+		if o.StackDepth() != 0 {
+			t.Fatalf("round %d: stack depth %d", round, o.StackDepth())
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"pnstm/internal/bitvec"
+	"pnstm/internal/epoch"
+)
+
+// Shared read accesses — the paper's first "future work" item (§9): "one
+// wants to optimize [read] accesses by allowing multiple (possibly
+// conflicting) transactions to simultaneously read from a common object.
+// The main consequence is that the conflict detection test must be
+// extended to answer ancestor queries between one transaction and a set of
+// multiple transactions."
+//
+// This file implements that extension (Config.SharedReads). Each object
+// additionally carries a reader set: (ancestor-set, epoch) entries for the
+// transactions that read it. The rules generalize the paper's hierarchy:
+//
+//   - READ by t: allowed iff the topmost write entry's active ancestors
+//     are a subset of t's ancestors (the object's current value belongs to
+//     an ancestor of t, or to nobody). Readers never conflict with
+//     readers. The read records a reader entry; no undo is needed.
+//
+//   - WRITE by t: the paper's test on the write stack, plus every active
+//     reader must be an ancestor of t. The set-vs-one ancestor query is
+//     answered with the same bit-vector algebra: ∪ᵢ active(ancᵢ) ⊆ t.anc
+//     ⟺ ∀i active(ancᵢ) ⊆ t.anc, and each active(ancᵢ) is obtained with
+//     the usual committed-mask/comDesc filtering at the reader's epoch, so
+//     the per-reader cost is O(1) and depth-independent.
+//
+// Reader entries are removed lazily: once a reader's ancestor set filters
+// to empty (everyone committed and published) it is dropped during the
+// next write's scan. An *aborted* reader's entry lingers until its bitnum
+// is discard-published — a false write-conflict window, never a safety
+// problem, mirroring the lazy treatment of write entries.
+type readerSet struct {
+	entries []objEntry
+}
+
+// recordReader notes that the transaction with the given live ancestor set
+// read the object at epoch ep. An existing entry by the same transaction
+// (same ancestor set, epoch within its window) is refreshed in place;
+// appended reports whether a new entry was created (the caller then logs a
+// retraction record so an abort removes it, D16).
+func (rs *readerSet) recordReader(anc bitvec.Vec, beginEp, ep epoch.Epoch) (appended bool) {
+	for i := range rs.entries {
+		e := &rs.entries[i]
+		if e.anc == anc && beginEp <= e.ep && e.ep <= ep {
+			e.ep = ep
+			return false
+		}
+	}
+	rs.entries = append(rs.entries, objEntry{anc: anc, ep: ep})
+	return true
+}
+
+// retract removes one reader entry matching the retraction record: same
+// ancestor set, epoch at or above the recorded one (in-transaction
+// refreshes only raise it).
+func (rs *readerSet) retract(anc bitvec.Vec, ep epoch.Epoch) {
+	for i := range rs.entries {
+		e := &rs.entries[i]
+		if e.anc == anc && e.ep >= ep {
+			rs.entries[i] = rs.entries[len(rs.entries)-1]
+			rs.entries = rs.entries[:len(rs.entries)-1]
+			return
+		}
+	}
+}
+
+// checkWriters filters the reader set and reports whether every active
+// reader is an ancestor of the writer (refAnc). Dead entries are dropped
+// as a side effect. Caller holds the object lock.
+func (c *Ctx) readersAllAncestors(rs *readerSet, refAnc bitvec.Vec) bool {
+	if len(rs.entries) == 0 {
+		return true
+	}
+	ok := true
+	kept := rs.entries[:0]
+	for _, e := range rs.entries {
+		active := c.activeAncestors(e.anc, e.ep)
+		if active.Empty() {
+			continue // reader committed and published: drop
+		}
+		kept = append(kept, e)
+		if !active.SubsetOf(refAnc) {
+			ok = false
+		}
+	}
+	rs.entries = kept
+	return ok
+}
+
+// tryRead is the shared-read counterpart of tryAccess: it validates the
+// read against the write stack and records the reader entry. Returns false
+// on conflict. Caller holds the object lock.
+func (c *Ctx) tryRead(o *Object, tx *txDesc) bool {
+	if n := len(o.stack); n > o.head {
+		top := &o.stack[n-1]
+		// Reading our own (or an ancestor's merged) write: covered by the
+		// write entry itself, no reader entry needed.
+		if top.anc == c.ancBase && tx.beginEp <= top.ep && top.ep <= c.ep {
+			return true
+		}
+		xanc := c.activeAncestors(top.anc, top.ep)
+		if !xanc.Empty() {
+			c.refreshAnc()
+			if !xanc.SubsetOf(c.ancBase) {
+				return false // current value belongs to a non-ancestor
+			}
+		}
+	}
+	if o.readers.recordReader(c.ancBase, tx.beginEp, c.ep) {
+		tx.pushReadUndo(o, c.ancBase, c.ep)
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package core
+
+import "sync/atomic"
+
+// Stats is a snapshot of runtime activity counters. All counters are
+// cumulative since the runtime was created.
+type Stats struct {
+	// Transactions.
+	Begun       uint64 // transactions started (including retries)
+	Committed   uint64 // successful commits (including borrowed ones)
+	Aborted     uint64 // aborts due to conflicts (retried)
+	UserAbort   uint64 // aborts because the body returned an error
+	Conflicts   uint64 // conflict detections (>= Aborted: spinning may resolve some)
+	SpinSaves   uint64 // conflicts that disappeared while re-testing (lazy-publication window)
+	Escalations uint64 // conflicts propagated to the parent transaction (nesting-aware CM)
+
+	// Scheduling.
+	Dispatches     uint64 // blocks dispatched with a reserved bitnum
+	BorrowDispatch uint64 // blocks dispatched borrowing the base bitnum (steal-time single child)
+	InlineChildren uint64 // inner blocks run inline (single-child forks and nested atomics)
+	SerializedFork uint64 // inner blocks serialized because the parent limiter was exhausted
+	Handoffs       uint64 // slots handed from a finishing child to its continuation
+	SlotYields     uint64 // contexts that gave up their slot after repeated aborts
+
+	// Bitnum lifecycle.
+	SelfDiscards   uint64 // bitnums discarded by their own finishing block
+	RemoteDiscards uint64 // bitnums unilaterally discarded by a finishing sibling (§6.2)
+	BorrowSwitches uint64 // blocks that switched to borrowed mode after a remote discard
+	PeakParents    uint64 // high-water mark of parent-limiter slots (set at Stats() time)
+}
+
+// counters is the live, atomically updated form of Stats.
+type counters struct {
+	begun, committed, aborted, userAbort, conflicts, spinSaves       atomic.Uint64
+	escalations                                                      atomic.Uint64
+	dispatches, borrowDispatch, inlineChildren, serializedFork       atomic.Uint64
+	handoffs, slotYields, selfDiscards, remoteDiscards, borrowSwitch atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Begun:          c.begun.Load(),
+		Committed:      c.committed.Load(),
+		Aborted:        c.aborted.Load(),
+		UserAbort:      c.userAbort.Load(),
+		Conflicts:      c.conflicts.Load(),
+		SpinSaves:      c.spinSaves.Load(),
+		Escalations:    c.escalations.Load(),
+		Dispatches:     c.dispatches.Load(),
+		BorrowDispatch: c.borrowDispatch.Load(),
+		InlineChildren: c.inlineChildren.Load(),
+		SerializedFork: c.serializedFork.Load(),
+		Handoffs:       c.handoffs.Load(),
+		SlotYields:     c.slotYields.Load(),
+		SelfDiscards:   c.selfDiscards.Load(),
+		RemoteDiscards: c.remoteDiscards.Load(),
+		BorrowSwitches: c.borrowSwitch.Load(),
+	}
+}

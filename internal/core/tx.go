@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pnstm/internal/bitvec"
+	"pnstm/internal/epoch"
+)
+
+// txDesc is a transaction descriptor (paper §4.1). A transaction is
+// identified by the pair (bitnum, epoch range) and positioned in the tree
+// by its ancestor set; begin, commit and abort bookkeeping are all O(1)
+// regardless of nesting depth.
+type txDesc struct {
+	// bitnum identifies the transaction while it is active. Borrowed
+	// transactions share their parent's bitnum (§6.2).
+	bitnum bitvec.Bitnum
+
+	// anc is the ancestor set at begin time (self included). It is an
+	// immutable snapshot: child blocks read it when they are dispatched
+	// and apply their own erasures (DESIGN.md D11); the owning context
+	// keeps the live, erased version in Ctx.ancBase.
+	anc bitvec.Vec
+
+	// beginEp is the first epoch at which the transaction was active.
+	beginEp epoch.Epoch
+
+	// parent is the enclosing transaction, nil for roots.
+	parent *txDesc
+
+	// borrowed marks a single-child transaction using its parent's bitnum;
+	// its commit is an identity merge and must not be published (D4).
+	borrowed bool
+
+	// liveBlocks counts unfinished blocks whose base transaction is this
+	// one, across every fork made in its context (including bare forks by
+	// descendant blocks that started no transaction of their own). The
+	// §6.2 single-child optimizations are only sound against the whole
+	// set: a block may borrow this transaction's bitnum only when it is
+	// the sole live block (liveBlocks == 1 — stable, because the only
+	// block that could fork more is the observer itself, and the
+	// transaction's own context is parked on the last join), and a
+	// finishing sibling may unilaterally discard the last remaining
+	// block's bitnum only when the two of them are all that is left
+	// (liveBlocks == 2). Checking only one join's count is unsound: bare
+	// nested forks put several simultaneously active joins under one
+	// transaction (DESIGN.md D15).
+	liveBlocks atomic.Int32
+
+	// Undo log: a newest-first singly linked list. The log exists so that
+	// aborting a transaction — including one whose children already
+	// committed into it — can restore every overwritten value; commit
+	// splices the whole list into the parent in O(1), which is what keeps
+	// commit depth-independent while still supporting cascading undo
+	// (DESIGN.md D6).
+	//
+	// Concurrency: only sibling child transactions committing in parallel
+	// can race on a parent's list (the owner is parked at the fork while
+	// children run), so splices take undoMu; the owner's own pushes do not.
+	undoMu   sync.Mutex
+	undoHead *undoRec
+	undoTail *undoRec
+	writes   int
+}
+
+// undoRec records one overwritten value, or — for shared reads — one
+// reader entry to retract on abort. Each write record corresponds to one
+// entry pushed on obj's access stack (except in serial mode, where stacks
+// hold at most one entry and rollback restores values only). Read records
+// exist because an aborted transaction's bitnum is never published while
+// its block lives, so a leftover reader entry would block every
+// non-ancestor writer indefinitely: two mutually conflicting retry loops
+// that both read before writing would livelock (DESIGN.md D16).
+type undoRec struct {
+	obj   *Object
+	saved any
+	next  *undoRec
+
+	// read marks a reader-entry retraction record; anc/ep identify the
+	// entry as recorded at append time.
+	read bool
+	anc  bitvec.Vec
+	ep   epoch.Epoch
+
+	// seq identifies the stack entry this write record pushed (D16).
+	seq uint64
+}
+
+// pushUndo prepends a write record. Owner-only; no locking required (see
+// undoMu doc above). seq identifies the pushed stack entry (0 in serial
+// mode, where rollback restores values only).
+func (tx *txDesc) pushUndo(o *Object, saved any, seq uint64) {
+	r := &undoRec{obj: o, saved: saved, seq: seq, next: tx.undoHead}
+	tx.undoHead = r
+	if tx.undoTail == nil {
+		tx.undoTail = r
+	}
+	tx.writes++
+}
+
+// pushReadUndo prepends a reader-entry retraction record.
+func (tx *txDesc) pushReadUndo(o *Object, anc bitvec.Vec, ep epoch.Epoch) {
+	r := &undoRec{obj: o, read: true, anc: anc, ep: ep, next: tx.undoHead}
+	tx.undoHead = r
+	if tx.undoTail == nil {
+		tx.undoTail = r
+	}
+}
+
+// spliceInto merges this transaction's undo log into parent in O(1),
+// preserving newest-first order: everything this transaction (and its
+// already-merged descendants) wrote is newer than what the parent had
+// logged before.
+func (tx *txDesc) spliceInto(parent *txDesc) {
+	if tx.undoHead == nil {
+		return
+	}
+	parent.undoMu.Lock()
+	tx.undoTail.next = parent.undoHead
+	parent.undoHead = tx.undoHead
+	if parent.undoTail == nil {
+		parent.undoTail = tx.undoTail
+	}
+	parent.writes += tx.writes
+	parent.undoMu.Unlock()
+	tx.undoHead, tx.undoTail, tx.writes = nil, nil, 0
+}

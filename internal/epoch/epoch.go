@@ -1,0 +1,22 @@
+// Package epoch implements the logical-clock machinery of the parallel
+// nested STM: epochs (paper §3), the per-epoch committed masks and the lazy
+// bitnum-reclaiming publisher (paper §5).
+//
+// Epochs are per-context Lamport clocks. Every event the TM reasons about —
+// transaction begin, commit, and each memory access — is stamped with the
+// epoch of the context that performed it, and blocks/bitnums carry minimum
+// epochs so that happens-before is preserved across work stealing and
+// bitnum re-use.
+package epoch
+
+// Epoch is a logical clock value. Epoch 0 is reserved ("before everything"):
+// contexts start at epoch 1, and committed masks for epoch 0 stay empty.
+type Epoch uint64
+
+// Max returns the larger of two epochs.
+func Max(a, b Epoch) Epoch {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pnstm/internal/bitvec"
+)
+
+// chunkBits sizes mask-table chunks: 1<<chunkBits epochs per chunk
+// (4096 epochs = 32 KiB per chunk).
+const chunkBits = 12
+
+const chunkLen = 1 << chunkBits
+
+type maskChunk [chunkLen]atomic.Uint64
+
+// MaskTable is the global array of committed masks, one bit vector per
+// epoch (paper §5: comMask[0..E]). comMask[e] holds the bitnums of
+// transactions that were active at epoch e and have since committed (or
+// whose bitnum was discarded at-or-before e).
+//
+// The paper allocates a fixed-size array of E masks; we grow the table on
+// demand instead, so that arbitrarily long executions work without a
+// reclaiming "session". Only publisher goroutines write (Or); any context
+// may read (Get) without locking: the chunk directory is swapped with an
+// atomic pointer and chunks themselves are arrays of atomics.
+type MaskTable struct {
+	dir    atomic.Pointer[[]*maskChunk]
+	growMu sync.Mutex // serializes directory growth among publishers
+}
+
+// Get returns the committed mask of epoch e. Epochs beyond the allocated
+// range have an empty mask, which is exactly the lazy semantics: nothing
+// has been published there yet.
+func (t *MaskTable) Get(e Epoch) bitvec.Vec {
+	dir := t.dir.Load()
+	if dir == nil {
+		return 0
+	}
+	idx := int(e >> chunkBits)
+	if idx >= len(*dir) {
+		return 0
+	}
+	return bitvec.Vec((*dir)[idx][e&(chunkLen-1)].Load())
+}
+
+// Or sets the given bits in the committed mask of epoch e. Publisher-only.
+func (t *MaskTable) Or(e Epoch, bits bitvec.Vec) {
+	idx := int(e >> chunkBits)
+	dir := t.dir.Load()
+	if dir == nil || idx >= len(*dir) {
+		t.grow(idx + 1)
+		dir = t.dir.Load()
+	}
+	(*dir)[idx][e&(chunkLen-1)].Or(uint64(bits))
+}
+
+// OrRange sets bits in every mask of the inclusive epoch range [lo, hi].
+// This is the publisher's bulk operation (paper Fig. 4, lines 5–6 and
+// 11–12). It is a no-op when lo > hi.
+func (t *MaskTable) OrRange(lo, hi Epoch, bits bitvec.Vec) {
+	for e := lo; e <= hi; e++ {
+		t.Or(e, bits)
+	}
+}
+
+// grow extends the chunk directory to hold at least n chunks. Existing
+// chunk pointers are copied, so concurrent readers holding the old
+// directory still observe every published mask.
+func (t *MaskTable) grow(n int) {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	old := t.dir.Load()
+	oldLen := 0
+	if old != nil {
+		oldLen = len(*old)
+	}
+	if oldLen >= n {
+		return
+	}
+	newLen := oldLen * 2
+	if newLen < n {
+		newLen = n
+	}
+	if newLen < 4 {
+		newLen = 4
+	}
+	next := make([]*maskChunk, newLen)
+	if old != nil {
+		copy(next, *old)
+	}
+	for i := oldLen; i < newLen; i++ {
+		next[i] = new(maskChunk)
+	}
+	t.dir.Store(&next)
+}
+
+// Allocated returns the number of epochs the table currently has storage
+// for. Diagnostics only.
+func (t *MaskTable) Allocated() int {
+	dir := t.dir.Load()
+	if dir == nil {
+		return 0
+	}
+	return len(*dir) * chunkLen
+}

@@ -1,0 +1,188 @@
+package pnstm
+
+import (
+	"time"
+
+	"pnstm/internal/core"
+	"pnstm/internal/epoch"
+)
+
+// Ctx is an execution context handed to block programs and transaction
+// bodies. It provides Atomic (begin a transaction, possibly nested),
+// Parallel (fork–join inside or outside a transaction) and the raw
+// Load/Store accessors; the generic Load/Store/Update package functions
+// are the typed front end.
+type Ctx = core.Ctx
+
+// Stats is a snapshot of runtime activity counters; see the field
+// documentation in the core package.
+type Stats = core.Stats
+
+// Var is an untyped transactional variable. Prefer the generic TVar.
+type Var = core.Object
+
+// NewVar returns an untyped transactional variable holding initial.
+func NewVar(initial any) *Var { return core.NewObject(initial) }
+
+// ErrClosed is returned by Run after Close.
+var ErrClosed = core.ErrClosed
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of worker slots P (1..32). Transactions get
+	// identifiers out of a 2P-bit space, so P is bounded by half the
+	// machine word.
+	Workers int
+
+	// Serial selects the serial-nesting baseline: Parallel runs its
+	// children sequentially in the calling context, as in STMs that
+	// disallow parallel nesting. Used for benchmarking against the paper's
+	// baseline.
+	Serial bool
+
+	// DisableAggressiveRecycle turns off unilateral bitnum recycling
+	// (paper §6.2). For ablation experiments.
+	DisableAggressiveRecycle bool
+
+	// LIFODispatch dispatches the newest queued block first instead of
+	// FIFO. For ablation experiments.
+	LIFODispatch bool
+
+	// SharedReads makes Load a shared read: concurrent readers never
+	// conflict with each other, and a write is admitted only when every
+	// active reader is an ancestor of the writer. Off by default, which
+	// reproduces the paper's write-only evaluation model. (The extension
+	// is the paper's §9 first future-work item.)
+	SharedReads bool
+
+	// PublisherPartitions parallelizes the background publisher over the
+	// bitnum space (paper §5.1). Default 1.
+	PublisherPartitions int
+
+	// PublisherStartPaused starts the publisher paused. Testing only: it
+	// holds the lazy-publication window open.
+	PublisherStartPaused bool
+
+	// SpinRetries bounds in-place conflict re-testing before a transaction
+	// aborts. Default 64.
+	SpinRetries int
+
+	// YieldAfterAborts is how many consecutive aborts a transaction
+	// tolerates before giving its worker slot back between retries.
+	// Default 3.
+	YieldAfterAborts int
+
+	// BackoffBase and BackoffMax bound the randomized exponential backoff
+	// between retries. Defaults 500ns and 100µs.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Seed seeds backoff randomization. Default 1.
+	Seed int64
+}
+
+// Runtime schedules transactional fork–join programs over a fixed set of
+// worker slots. Create with New; always Close when done (it stops the
+// background publisher).
+type Runtime struct {
+	rt *core.Runtime
+}
+
+// New creates a runtime.
+func New(cfg Config) (*Runtime, error) {
+	rt, err := core.New(core.Config{
+		Workers:                  cfg.Workers,
+		Serial:                   cfg.Serial,
+		DisableAggressiveRecycle: cfg.DisableAggressiveRecycle,
+		LIFODispatch:             cfg.LIFODispatch,
+		SharedReads:              cfg.SharedReads,
+		PublisherPartitions:      cfg.PublisherPartitions,
+		PublisherStartPaused:     cfg.PublisherStartPaused,
+		SpinRetries:              cfg.SpinRetries,
+		YieldAfterAborts:         cfg.YieldAfterAborts,
+		BackoffBase:              cfg.BackoffBase,
+		BackoffMax:               cfg.BackoffMax,
+		Seed:                     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{rt: rt}, nil
+}
+
+// Run executes fn as a root block and waits for it and everything it
+// forked. Concurrent Run calls are independent block trees. A panic in the
+// tree is re-raised here after rollback.
+func (r *Runtime) Run(fn func(*Ctx)) error { return r.rt.Run(fn) }
+
+// Close waits for in-flight Run calls and stops the background publisher.
+// Idempotent; Run afterwards returns ErrClosed.
+func (r *Runtime) Close() { r.rt.Close() }
+
+// Stats returns a snapshot of activity counters.
+func (r *Runtime) Stats() Stats { return r.rt.Stats() }
+
+// Workers returns the configured worker count.
+func (r *Runtime) Workers() int { return r.rt.Workers() }
+
+// Publisher exposes the lazy-reclaiming publisher for tests and
+// benchmarks (pause, resume, drain). Nil in Serial mode.
+func (r *Runtime) Publisher() *epoch.Publisher { return r.rt.Publisher() }
+
+// TVar is a typed transactional variable.
+type TVar[T any] struct {
+	obj *core.Object
+}
+
+// NewTVar returns a transactional variable holding initial.
+func NewTVar[T any](initial T) *TVar[T] {
+	return &TVar[T]{obj: core.NewObject(initial)}
+}
+
+// Load reads v inside the current transaction. Like every access it is
+// treated as a write for conflict detection (paper §4.2).
+func Load[T any](c *Ctx, v *TVar[T]) T {
+	return c.Load(v.obj).(T)
+}
+
+// Store writes v inside the current transaction.
+func Store[T any](c *Ctx, v *TVar[T], val T) {
+	c.Store(v.obj, val)
+}
+
+// Swap writes val and returns the previous value.
+func Swap[T any](c *Ctx, v *TVar[T], val T) T {
+	return c.Store(v.obj, val).(T)
+}
+
+// Update applies f to the current value and stores the result, returning
+// the new value.
+func Update[T any](c *Ctx, v *TVar[T], f func(T) T) T {
+	next := f(c.Load(v.obj).(T))
+	c.Store(v.obj, next)
+	return next
+}
+
+// Peek reads the value without transactional bookkeeping. Only safe when
+// no transactions are running (e.g. after Run returns).
+func (v *TVar[T]) Peek() T { return v.obj.Peek().(T) }
+
+// SetDirect overwrites the value without transactional bookkeeping. Only
+// safe when no transactions are running.
+func (v *TVar[T]) SetDirect(val T) { v.obj.SetDirect(val) }
+
+// Obj exposes the underlying untyped variable (for mixing typed and
+// untyped access in one program).
+func (v *TVar[T]) Obj() *Var { return v.obj }
+
+// AtomicResult runs fn atomically and returns its result, a generic
+// convenience over Ctx.Atomic.
+func AtomicResult[R any](c *Ctx, fn func(*Ctx) (R, error)) (R, error) {
+	var out R
+	err := c.Atomic(func(c *Ctx) error {
+		var err error
+		out, err = fn(c)
+		return err
+	})
+	return out, err
+}
