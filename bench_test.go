@@ -410,6 +410,63 @@ func BenchmarkQueueDispatchOrder(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// stmlib structure workloads: parallel-nested bulk operations vs. the
+// serial-nesting baseline, per workload family (map-heavy,
+// producer/consumer, hot-counter).
+// ---------------------------------------------------------------------------
+
+func benchStructure(b *testing.B, workload string, children, span int) {
+	base := bench.StructureConfig{
+		Workload: workload,
+		Workers:  8,
+		Rounds:   2,
+		Children: children,
+		Span:     span,
+	}
+	var serialWall time.Duration
+	for _, serial := range []bool{true, false} {
+		name := "parallel"
+		if serial {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			var wall time.Duration
+			var ops int
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.Serial = serial
+				cfg.Seed = int64(i + 1)
+				res, err := bench.RunStructure(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall += res.Wall
+				ops = res.Ops
+			}
+			mean := wall / time.Duration(b.N)
+			b.ReportMetric(float64(ops)/mean.Seconds(), "structops/s")
+			if serial {
+				serialWall = mean
+			} else if serialWall > 0 {
+				b.ReportMetric(float64(serialWall)/float64(mean), "speedup-vs-serial")
+			}
+		})
+	}
+}
+
+// BenchmarkStructMapBulk: disjoint point writes from parallel children
+// plus whole-map BulkUpdate/Len — the bucket-group fan-out path.
+func BenchmarkStructMapBulk(b *testing.B) { benchStructure(b, "map", 8, 128) }
+
+// BenchmarkStructQueueFanIn: per-producer queues filled in parallel, then
+// fan-in consumer transactions popping from every queue at once.
+func BenchmarkStructQueueFanIn(b *testing.B) { benchStructure(b, "queue", 8, 64) }
+
+// BenchmarkStructHotCounter: striped counter hammered by parallel
+// children with a parallel-nested Sum per round.
+func BenchmarkStructHotCounter(b *testing.B) { benchStructure(b, "counter", 8, 256) }
+
+// ---------------------------------------------------------------------------
 // Micro-benchmarks: raw operation costs.
 // ---------------------------------------------------------------------------
 

@@ -1,5 +1,8 @@
 // Command pnstm-bench regenerates the paper's evaluation figures
-// (Barreto et al., PPoPP 2010, §7) on this machine.
+// (Barreto et al., PPoPP 2010, §7) on this machine, and runs the stmlib
+// data-structure workloads (map-heavy, producer/consumer, hot-counter)
+// comparing parallel-nested bulk operations against the serial-nesting
+// baseline.
 //
 // Usage:
 //
@@ -7,6 +10,8 @@
 //	pnstm-bench -fig 7                     # per-tx handling time vs depth
 //	pnstm-bench -fig 6 -think 20ms -repeats 5 -detail
 //	pnstm-bench -fig 6 -paperscale         # 0..2s think times, as published (slow!)
+//	pnstm-bench -workload all              # stmlib structure workloads
+//	pnstm-bench -workload map -children 16 -span 256
 //
 // The paper ran on a 64-hardware-thread Niagara 2 with 32 workers and
 // think times up to 2 s. The workload is think-time dominated, so the
@@ -35,8 +40,24 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		detail     = flag.Bool("detail", false, "also print raw wall/tx times")
 		paperscale = flag.Bool("paperscale", false, "use the paper's 0..2s think times and 10 repeats")
+
+		workload = flag.String("workload", "", "stmlib structure workload to run instead of a figure: map, queue, counter or all")
+		rounds   = flag.Int("rounds", 8, "structure workload: top-level transactions per run")
+		children = flag.Int("children", 8, "structure workload: parallel children per round")
+		span     = flag.Int("span", 128, "structure workload: per-child operations per round")
 	)
 	flag.Parse()
+
+	if *workload != "" {
+		runWorkloads(*workload, bench.StructureConfig{
+			Workers:  *workers,
+			Rounds:   *rounds,
+			Children: *children,
+			Span:     *span,
+			Seed:     *seed,
+		})
+		return
+	}
 
 	if *paperscale {
 		*think = 2 * time.Second
@@ -78,4 +99,41 @@ func main() {
 		fmt.Println()
 		f.RenderDetail(os.Stdout)
 	}
+}
+
+// runWorkloads runs the requested stmlib structure workload families and
+// prints a serial-vs-parallel comparison table.
+func runWorkloads(which string, base bench.StructureConfig) {
+	names := bench.StructureWorkloads()
+	if which != "all" {
+		found := false
+		for _, n := range names {
+			if n == which {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "pnstm-bench: unknown workload %q (want %v or all)\n", which, names)
+			os.Exit(2)
+		}
+		names = []string{which}
+	}
+	fmt.Printf("stmlib structure workloads: %d rounds × %d children × %d ops (workers=%d)\n\n",
+		base.Rounds, base.Children, base.Span, base.Workers)
+	fmt.Printf("%-10s %14s %14s %10s\n", "workload", "serial ops/s", "parallel ops/s", "speedup")
+	for _, name := range names {
+		cfg := base
+		cfg.Workload = name
+		ser, par, err := bench.CompareStructure(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-bench: workload %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %14.0f %14.0f %9.2fx\n",
+			name, ser.OpsPerSec(), par.OpsPerSec(),
+			float64(ser.Wall)/float64(par.Wall))
+	}
+	fmt.Println("\nspeedup > 1 means parallel-nested bulk operations beat the serial baseline;")
+	fmt.Println("expect < 1 on boxes with few hardware threads (fork/join overhead only).")
 }

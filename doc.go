@@ -57,7 +57,14 @@
 // epochs (per-context logical clocks), committed masks and a background
 // publisher, and a parent-transaction limit plus bitnum borrowing lets the
 // bounded identifier space support unbounded transaction trees. See
-// DESIGN.md and the internal packages for the full machinery.
+// ARCHITECTURE.md and the internal packages for the full machinery.
+//
+// # Data structures
+//
+// The stmlib subpackage builds composable transactional data structures
+// (TMap, TQueue, TCounter) on this runtime; their bulk operations fork
+// parallel nested children, so a whole-structure step is one atomic
+// action that runs on every worker slot.
 //
 // # Restrictions
 //

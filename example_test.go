@@ -1,0 +1,114 @@
+package pnstm_test
+
+import (
+	"fmt"
+	"log"
+
+	"pnstm"
+)
+
+// The package example is the paper's Figure 1: a bank transfer whose
+// debit and credit run as parallel nested transactions inside the outer
+// transaction, followed by the outer transaction reading its child's
+// result.
+func Example() {
+	rt, err := pnstm.New(pnstm.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	acctA := pnstm.NewTVar(100)
+	acctB := pnstm.NewTVar(50)
+
+	err = rt.Run(func(c *pnstm.Ctx) {
+		_ = c.Atomic(func(c *pnstm.Ctx) error { // t0
+			c.Parallel(
+				func(c *pnstm.Ctx) { // t1, child of t0
+					_ = c.Atomic(func(c *pnstm.Ctx) error {
+						pnstm.Store(c, acctA, pnstm.Load(c, acctA)-30)
+						return nil
+					})
+				},
+				func(c *pnstm.Ctx) { // t2, child of t0
+					_ = c.Atomic(func(c *pnstm.Ctx) error {
+						pnstm.Store(c, acctB, pnstm.Load(c, acctB)+30)
+						return nil
+					})
+				},
+			)
+			// t0 reads B immediately after its child committed; the
+			// committed-descendant notes (§5.2) guarantee no false conflict
+			// even before the commit is published.
+			fmt.Println("balance of B:", pnstm.Load(c, acctB))
+			return nil
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final: A=%d B=%d\n", acctA.Peek(), acctB.Peek())
+	// Output:
+	// balance of B: 80
+	// final: A=70 B=80
+}
+
+// AtomicResult returns a value out of a transaction; an error from the
+// body aborts every write the transaction (and its committed
+// descendants) made.
+func ExampleAtomicResult() {
+	rt, err := pnstm.New(pnstm.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	stock := pnstm.NewTVar(5)
+	errSoldOut := fmt.Errorf("sold out")
+
+	take := func(c *pnstm.Ctx, n int) (int, error) {
+		return pnstm.AtomicResult(c, func(c *pnstm.Ctx) (int, error) {
+			have := pnstm.Load(c, stock)
+			if have < n {
+				return 0, errSoldOut
+			}
+			pnstm.Store(c, stock, have-n)
+			return have - n, nil
+		})
+	}
+
+	_ = rt.Run(func(c *pnstm.Ctx) {
+		left, err := take(c, 3)
+		fmt.Println(left, err)
+		left, err = take(c, 3) // aborts: nothing is deducted
+		fmt.Println(left, err)
+	})
+	fmt.Println("remaining:", stock.Peek())
+	// Output:
+	// 2 <nil>
+	// 0 sold out
+	// remaining: 2
+}
+
+// Update composes a read-modify-write; inside an enclosing Atomic it is
+// one step of the enclosing transaction.
+func ExampleUpdate() {
+	rt, err := pnstm.New(pnstm.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	hits := pnstm.NewTVar(0)
+	_ = rt.Run(func(c *pnstm.Ctx) {
+		_ = c.Atomic(func(c *pnstm.Ctx) error {
+			for i := 0; i < 3; i++ {
+				pnstm.Update(c, hits, func(n int) int { return n + 1 })
+			}
+			return nil
+		})
+	})
+	fmt.Println(hits.Peek())
+	// Output:
+	// 3
+}

@@ -1,0 +1,3 @@
+module pnstm
+
+go 1.23

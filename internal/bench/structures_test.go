@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStructureWorkloadsRun executes every workload family under both the
+// serial baseline and the parallel runtime at a small size. The workloads
+// self-check their final state, so a pass here is a correctness statement,
+// not just "it did not crash".
+func TestStructureWorkloadsRun(t *testing.T) {
+	for _, w := range StructureWorkloads() {
+		for _, serial := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%s/serial=%v", w, serial), func(t *testing.T) {
+				res, err := RunStructure(StructureConfig{
+					Workload: w,
+					Workers:  4,
+					Serial:   serial,
+					Rounds:   3,
+					Children: 4,
+					Span:     16,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops == 0 {
+					t.Fatal("no ops recorded")
+				}
+				if res.Wall <= 0 {
+					t.Fatal("no wall time recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestStructureConfigValidation(t *testing.T) {
+	if _, err := RunStructure(StructureConfig{Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestCompareStructure(t *testing.T) {
+	ser, par, err := CompareStructure(StructureConfig{
+		Workload: "counter",
+		Workers:  4,
+		Rounds:   2,
+		Children: 4,
+		Span:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Ops != par.Ops {
+		t.Fatalf("op counts diverge: serial %d parallel %d", ser.Ops, par.Ops)
+	}
+	if ser.OpsPerSec() <= 0 || par.OpsPerSec() <= 0 {
+		t.Fatal("throughput not recorded")
+	}
+}

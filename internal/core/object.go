@@ -33,6 +33,13 @@ type Object struct {
 	// record either (records die with the topmost committed ancestor), so
 	// dropping the prefix can never desynchronize rollback's pops (D7).
 	head int
+	// helpedAt is the pushSeq at which a help-publish cycle last failed
+	// to compact this object below helpPublishThreshold. A depth that
+	// stays over the threshold with an unchanged stack is genuinely deep
+	// live nesting — publication cannot shrink it — so helping again is
+	// wasted work until the stack changes (the next push bumps pushSeq
+	// and re-arms the trigger).
+	helpedAt uint64
 }
 
 // objEntry is one access-stack entry: the paper pushes (anc, epoch) pairs
@@ -78,6 +85,15 @@ func (o *Object) StackDepth() int {
 // tries to drop dead bottom entries. Small enough to bound memory under
 // publication lag, large enough to keep the common path to one branch.
 const compactThreshold = 8
+
+// helpPublishThreshold is the live depth beyond which an accessor stops
+// trusting the background publisher and runs a publication cycle itself
+// (outside the object lock). The background goroutine can be starved
+// arbitrarily long — e.g. GOMAXPROCS=1 with a worker in a tight
+// transaction loop — and without helping, the stack of a hot object grows
+// with the transaction count instead of staying bounded by the
+// publication window (D7).
+const helpPublishThreshold = 64
 
 // dropDeadPrefix advances head past dead bottom entries and releases
 // storage once the dead prefix dominates. Caller holds o.mu.
@@ -129,7 +145,19 @@ func (c *Ctx) access(o *Object, newVal any, store bool) any {
 			if store {
 				o.val = newVal
 			}
+			deep := len(o.stack)-o.head > helpPublishThreshold && o.helpedAt != o.pushSeq
 			o.mu.unlock()
+			if deep && c.rt.helpPublish() {
+				o.mu.lock()
+				o.dropDeadPrefix(c.rt)
+				if len(o.stack)-o.head > helpPublishThreshold {
+					// Still deep after publishing: the depth is live
+					// nesting, not publication lag. Disarm until the
+					// stack changes.
+					o.helpedAt = o.pushSeq
+				}
+				o.mu.unlock()
+			}
 			if spins > 0 {
 				c.rt.stats.spinSaves.Add(1)
 			}

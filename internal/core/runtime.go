@@ -233,6 +233,21 @@ func (rt *Runtime) Stats() Stats {
 // (pause/step/drain). Nil in serial mode.
 func (rt *Runtime) Publisher() *epoch.Publisher { return rt.pub }
 
+// helpPublish runs one synchronous publication cycle on the caller's
+// goroutine. Accessors call it when an object's live stack outgrows the
+// expected publication window, which means the background publisher is
+// starved (e.g. GOMAXPROCS=1 under a tight transaction loop). A paused
+// publisher is respected — tests pause it precisely to hold the lazy
+// window open. Reports whether a cycle ran.
+func (rt *Runtime) helpPublish() bool {
+	if rt.pub == nil || rt.pub.Paused() {
+		return false
+	}
+	rt.pub.StepOnce()
+	rt.stats.helpPublishes.Add(1)
+	return true
+}
+
 // Workers returns the configured worker count P.
 func (rt *Runtime) Workers() int { return rt.cfg.Workers }
 

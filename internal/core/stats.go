@@ -27,6 +27,9 @@ type Stats struct {
 	RemoteDiscards uint64 // bitnums unilaterally discarded by a finishing sibling (§6.2)
 	BorrowSwitches uint64 // blocks that switched to borrowed mode after a remote discard
 	PeakParents    uint64 // high-water mark of parent-limiter slots (set at Stats() time)
+
+	// Publication.
+	HelpPublishes uint64 // synchronous publication cycles run by starved accessors (D7)
 }
 
 // counters is the live, atomically updated form of Stats.
@@ -35,6 +38,7 @@ type counters struct {
 	escalations                                                      atomic.Uint64
 	dispatches, borrowDispatch, inlineChildren, serializedFork       atomic.Uint64
 	handoffs, slotYields, selfDiscards, remoteDiscards, borrowSwitch atomic.Uint64
+	helpPublishes                                                    atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -55,5 +59,6 @@ func (c *counters) snapshot() Stats {
 		SelfDiscards:   c.selfDiscards.Load(),
 		RemoteDiscards: c.remoteDiscards.Load(),
 		BorrowSwitches: c.borrowSwitch.Load(),
+		HelpPublishes:  c.helpPublishes.Load(),
 	}
 }

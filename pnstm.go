@@ -28,6 +28,35 @@ func NewVar(initial any) *Var { return core.NewObject(initial) }
 var ErrClosed = core.ErrClosed
 
 // Config configures a Runtime.
+//
+// Field interactions:
+//
+//   - Serial overrides almost everything else: it disables the scheduler,
+//     the publisher and conflict detection, so Workers, LIFODispatch,
+//     DisableAggressiveRecycle, SharedReads, PublisherPartitions,
+//     PublisherStartPaused, SpinRetries and the backoff fields have no
+//     effect, and Runtime.Publisher returns nil. A Serial runtime is
+//     single-threaded: concurrent Run calls are not safe in this mode.
+//   - LIFODispatch changes only the order blocks leave the global queue;
+//     it composes freely with every other switch and never affects
+//     results, only scheduling (ablation benchmarks).
+//   - DisableAggressiveRecycle turns off unilateral bitnum discards,
+//     which also eliminates borrow switches and merged-victim
+//     escalations; deep trees then lean harder on the publisher to
+//     recycle bitnums, so expect more head-of-line waiting when the free
+//     queue runs dry.
+//   - SharedReads changes the conflict model itself (reads stop
+//     conflicting with reads), so results of racy programs may differ
+//     from the default write-only model; oracle-style comparisons against
+//     Serial still hold for deterministic programs.
+//   - PublisherStartPaused holds the lazy-publication window open until
+//     Publisher().Resume or a manual StepOnce/Drain; accessors then rely
+//     on SpinRetries and committed-descendant notes, and deliberately do
+//     not help-publish (tests pause the publisher precisely to keep the
+//     window open).
+//   - SpinRetries, YieldAfterAborts, BackoffBase/BackoffMax and Seed tune
+//     the same retry loop, in escalating order: spin in place, then back
+//     off (randomized via Seed), then yield the worker slot.
 type Config struct {
 	// Workers is the number of worker slots P (1..32). Transactions get
 	// identifiers out of a 2P-bit space, so P is bounded by half the
@@ -37,7 +66,7 @@ type Config struct {
 	// Serial selects the serial-nesting baseline: Parallel runs its
 	// children sequentially in the calling context, as in STMs that
 	// disallow parallel nesting. Used for benchmarking against the paper's
-	// baseline.
+	// baseline. See the interaction notes on Config.
 	Serial bool
 
 	// DisableAggressiveRecycle turns off unilateral bitnum recycling

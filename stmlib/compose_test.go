@@ -1,0 +1,213 @@
+package stmlib_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pnstm"
+	"pnstm/stmlib"
+)
+
+// TestAtomicComposition: one Atomic body touches a TMap, a TQueue, a
+// TCounter and a plain TVar. On success everything is visible together;
+// on abort nothing is.
+func TestAtomicComposition(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serial=%v", serial), func(t *testing.T) {
+			rt := newRT(t, 4, serial)
+			stock := stmlib.NewTMap[string, int](16)
+			orders := stmlib.NewTQueue[string]()
+			revenue := stmlib.NewTCounter(4)
+			version := pnstm.NewTVar(0)
+			sentinel := fmt.Errorf("out of stock")
+
+			run(t, rt, func(c *pnstm.Ctx) {
+				stock.Put(c, "widget", 3)
+
+				sell := func(item string, n int) error {
+					return c.Atomic(func(c *pnstm.Ctx) error {
+						have, _ := stock.Get(c, item)
+						if have < n {
+							return sentinel
+						}
+						stock.Put(c, item, have-n)
+						orders.Push(c, item)
+						revenue.Add(c, int64(n*10))
+						pnstm.Update(c, version, func(v int) int { return v + 1 })
+						return nil
+					})
+				}
+
+				if err := sell("widget", 2); err != nil {
+					t.Fatalf("sell 2: %v", err)
+				}
+				if err := sell("widget", 5); err != sentinel {
+					t.Fatalf("oversell: err = %v", err)
+				}
+
+				// Exactly one sale's effects, across all four structures.
+				if v, _ := stock.Get(c, "widget"); v != 1 {
+					t.Errorf("stock = %d want 1", v)
+				}
+				if n := orders.Len(c); n != 1 {
+					t.Errorf("orders = %d want 1", n)
+				}
+				if s := revenue.Sum(c); s != 20 {
+					t.Errorf("revenue = %d want 20", s)
+				}
+				// Raw TVar access needs an explicit Atomic (unlike the
+				// stmlib operations, which open their own).
+				_ = c.Atomic(func(c *pnstm.Ctx) error {
+					if v := pnstm.Load(c, version); v != 1 {
+						t.Errorf("version = %d want 1", v)
+					}
+					return nil
+				})
+			})
+		})
+	}
+}
+
+// TestConcurrentRootTransfers runs independent root transactions from
+// many goroutines: transfer transactions move value between two map keys
+// (keeping the total constant) while observer transactions snapshot the
+// map and check the invariant. This is the cross-tree linearizability
+// check — conflicts here are real, between unrelated transaction trees.
+func TestConcurrentRootTransfers(t *testing.T) {
+	rt := newRT(t, 4, false)
+	m := stmlib.NewTMap[string, int](8)
+	const total = 1000
+	if err := rt.Run(func(c *pnstm.Ctx) {
+		m.Put(c, "a", total)
+		m.Put(c, "b", 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const movers, observers, iters = 3, 2, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, movers+observers)
+	for w := 0; w < movers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := rt.Run(func(c *pnstm.Ctx) {
+					_ = c.Atomic(func(c *pnstm.Ctx) error {
+						a, _ := m.Get(c, "a")
+						b, _ := m.Get(c, "b")
+						amt := (w*iters + i) % 7
+						if a >= amt {
+							m.Put(c, "a", a-amt)
+							m.Put(c, "b", b+amt)
+						} else {
+							m.Put(c, "a", a+b)
+							m.Put(c, "b", 0)
+						}
+						return nil
+					})
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < observers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var a, b int
+				if err := rt.Run(func(c *pnstm.Ctx) {
+					_ = c.Atomic(func(c *pnstm.Ctx) error {
+						a, _ = m.Get(c, "a")
+						b, _ = m.Get(c, "b")
+						return nil
+					})
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if a+b != total {
+					errs <- fmt.Errorf("invariant broken: a=%d b=%d", a, b)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSerialParallelDivergence runs one deterministic mixed-structure
+// program under the serial baseline and the parallel runtime and requires
+// identical observable state.
+func TestSerialParallelDivergence(t *testing.T) {
+	type state struct {
+		mapSnap map[int]int
+		queue   []int
+		counter int64
+	}
+	exec := func(serial bool, workers int) state {
+		rt := newRT(t, workers, serial)
+		m := stmlib.NewTMap[int, int](16)
+		q := stmlib.NewTQueue[int]()
+		ctr := stmlib.NewTCounter(4)
+		run(t, rt, func(c *pnstm.Ctx) {
+			_ = c.Atomic(func(c *pnstm.Ctx) error {
+				// Parallel children over disjoint keys; queue pushes ordered
+				// by a sequential post-pass so the program is deterministic.
+				fns := make([]func(*pnstm.Ctx), 4)
+				for w := 0; w < 4; w++ {
+					w := w
+					fns[w] = func(c *pnstm.Ctx) {
+						_ = c.Atomic(func(c *pnstm.Ctx) error {
+							for i := 0; i < 10; i++ {
+								m.Put(c, w*10+i, w)
+								ctr.Add(c, int64(w))
+							}
+							return nil
+						})
+					}
+				}
+				c.Parallel(fns...)
+				m.BulkUpdate(c, []int{0, 10, 20, 30}, func(k, v int, ok bool) (int, bool) {
+					return v + 100, true
+				})
+				for i := 0; i < 5; i++ {
+					q.Push(c, i)
+				}
+				q.Pop(c)
+				return nil
+			})
+		})
+		var st state
+		run(t, rt, func(c *pnstm.Ctx) {
+			st.mapSnap = m.Snapshot(c)
+			st.counter = ctr.Sum(c)
+			for {
+				v, ok := q.Pop(c)
+				if !ok {
+					break
+				}
+				st.queue = append(st.queue, v)
+			}
+		})
+		return st
+	}
+
+	want := exec(true, 1)
+	got := exec(false, 4)
+	diffMaps(t, "map", got.mapSnap, want.mapSnap)
+	if got.counter != want.counter {
+		t.Errorf("counter: %d vs %d", got.counter, want.counter)
+	}
+	if fmt.Sprint(got.queue) != fmt.Sprint(want.queue) {
+		t.Errorf("queue: %v vs %v", got.queue, want.queue)
+	}
+}

@@ -1,0 +1,95 @@
+package stmlib_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pnstm"
+	"pnstm/stmlib"
+)
+
+func TestTCounterBasics(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serial=%v", serial), func(t *testing.T) {
+			rt := newRT(t, 4, serial)
+			ctr := stmlib.NewTCounter(8)
+			run(t, rt, func(c *pnstm.Ctx) {
+				if s := ctr.Sum(c); s != 0 {
+					t.Errorf("fresh sum = %d", s)
+				}
+				for i := 0; i < 20; i++ {
+					ctr.Inc(c)
+				}
+				ctr.Add(c, -5)
+				if s := ctr.Sum(c); s != 15 {
+					t.Errorf("sum = %d want 15", s)
+				}
+				ctr.Reset(c)
+				if s := ctr.Sum(c); s != 0 {
+					t.Errorf("sum after reset = %d", s)
+				}
+			})
+		})
+	}
+}
+
+// TestTCounterParallelAdders increments from parallel sibling
+// transactions; striping means most adds do not conflict, and the final
+// sum must be exact regardless.
+func TestTCounterParallelAdders(t *testing.T) {
+	rt := newRT(t, 4, false)
+	ctr := stmlib.NewTCounter(8)
+	const adders, per = 8, 50
+	run(t, rt, func(c *pnstm.Ctx) {
+		_ = c.Atomic(func(c *pnstm.Ctx) error {
+			fns := make([]func(*pnstm.Ctx), adders)
+			for i := range fns {
+				fns[i] = func(c *pnstm.Ctx) {
+					for k := 0; k < per; k++ {
+						ctr.Inc(c)
+					}
+				}
+			}
+			c.Parallel(fns...)
+			// The enclosing transaction reads the total its children just
+			// committed (the §5.2 "case 2" access pattern).
+			if s := ctr.Sum(c); s != adders*per {
+				t.Errorf("sum inside tx = %d want %d", s, adders*per)
+			}
+			return nil
+		})
+	})
+	run(t, rt, func(c *pnstm.Ctx) {
+		if s := ctr.Sum(c); s != adders*per {
+			t.Errorf("final sum = %d want %d", s, adders*per)
+		}
+	})
+}
+
+// TestTCounterAbortUndoesAdds checks that aborting an enclosing
+// transaction undoes the adds of its committed parallel children.
+func TestTCounterAbortUndoesAdds(t *testing.T) {
+	rt := newRT(t, 4, false)
+	ctr := stmlib.NewTCounter(4)
+	sentinel := fmt.Errorf("deliberate abort")
+	run(t, rt, func(c *pnstm.Ctx) {
+		ctr.Add(c, 100)
+		err := c.Atomic(func(c *pnstm.Ctx) error {
+			c.Parallel(
+				func(c *pnstm.Ctx) { ctr.Add(c, 1) },
+				func(c *pnstm.Ctx) { ctr.Add(c, 2) },
+				func(c *pnstm.Ctx) { ctr.Add(c, 3) },
+			)
+			if s := ctr.Sum(c); s != 106 {
+				t.Errorf("sum inside tx = %d want 106", s)
+			}
+			return sentinel
+		})
+		if err != sentinel {
+			t.Fatalf("err = %v", err)
+		}
+		if s := ctr.Sum(c); s != 100 {
+			t.Errorf("sum after abort = %d want 100", s)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+// Package stmlib is a library of transactional data structures built on
+// the parallel-nesting STM in package pnstm.
+//
+// The structures follow Assa et al., "Using Nesting to Push the Limits of
+// Transactional Data Structure Libraries" (DISC 2021): a data structure
+// operation is itself a (nested) transaction, so structure operations
+// compose — an Atomic body may touch a TMap, a TQueue, a TCounter and
+// plain TVars and the whole body commits or aborts as one unit. What this
+// runtime uniquely adds is the paper's parallel nesting: a single bulk
+// operation (TMap.Range, TMap.Clear, TMap.BulkUpdate, TCounter.Sum) forks
+// one child transaction per bucket group via Ctx.Parallel, so the bulk
+// work runs on all worker slots while still being one atomic step of the
+// enclosing transaction.
+//
+// Three structures ship today:
+//
+//   - TMap[K, V]: a bucketed hash map. Point operations (Get, Put,
+//     Delete, Contains) touch one bucket; bulk operations fan out one
+//     nested child per bucket group.
+//   - TQueue[T]: a two-stack FIFO queue over persistent (immutable) cons
+//     lists, so aborts never alias live state.
+//   - TCounter: a striped counter. Add touches one stripe (concurrent
+//     non-ancestor adders rarely collide); Sum reads all stripes with
+//     parallel nested children.
+//
+// Every operation takes the caller's *pnstm.Ctx and may be called either
+// inside an enclosing Atomic (the operation becomes a nested child and
+// joins the caller's atom) or at block level (the operation runs as its
+// own root transaction). Under pnstm.Config{Serial: true} the same
+// programs run with serial nesting — Parallel degrades to sequential
+// inline children — which is the baseline the benchmarks compare against.
+//
+// # Values are copied, not shared
+//
+// The structures store values with persistent-data-structure discipline:
+// a transactional write replaces a bucket map or list node wholesale and
+// never mutates shared state in place, because the STM's rollback restores
+// previous values by reference. Callers must follow the same rule for the
+// V/T payloads they store: treat a value handed to Put/Push as frozen. If
+// a payload must be mutable, store a pointer to data guarded elsewhere or
+// copy before mutating.
+package stmlib

@@ -1,0 +1,338 @@
+package stmlib
+
+import (
+	"pnstm"
+)
+
+// DefaultFanout is the default maximum number of parallel nested children
+// a bulk operation forks. Bulk operations split the bucket array into at
+// most this many contiguous groups and run one child transaction per
+// group; the runtime serializes children beyond its own capacity anyway
+// (parent-limiter degradation), so fanout only needs to be around the
+// worker count to saturate the machine.
+const DefaultFanout = 8
+
+// TMap is a transactional hash map from K to V, implemented as a fixed
+// array of buckets, each a transactional variable holding an immutable
+// (copy-on-write) Go map.
+//
+// Point operations (Get, Put, Delete, Contains) run as one nested
+// transaction touching a single bucket, so operations on different
+// buckets by parallel sibling transactions do not conflict. Bulk
+// operations (Len, Range, Snapshot, Clear, BulkUpdate) fork one nested
+// child transaction per bucket group via Ctx.Parallel: inside an
+// enclosing transaction the whole bulk step is atomic, yet its work runs
+// on every available worker slot. Under pnstm.Config{Serial: true} the
+// children run inline sequentially and the semantics are unchanged.
+//
+// A TMap must be created with NewTMap. It may be shared freely between
+// transactions; the zero value is not usable.
+type TMap[K comparable, V any] struct {
+	buckets []*pnstm.TVar[map[K]V]
+	mask    uint64
+	fanout  int
+}
+
+// NewTMap returns a TMap with the given number of buckets (rounded up to
+// a power of two, minimum 1) and the default bulk fanout. More buckets
+// mean fewer false conflicts between point operations on distinct keys;
+// 2–4× the expected concurrency is a good start.
+func NewTMap[K comparable, V any](buckets int) *TMap[K, V] {
+	return NewTMapFanout[K, V](buckets, DefaultFanout)
+}
+
+// NewTMapFanout is NewTMap with an explicit bulk-operation fanout: the
+// maximum number of parallel nested children a bulk operation forks.
+// Fanout 1 makes every bulk operation a single sequential child, which is
+// useful to isolate the cost of parallel nesting itself.
+func NewTMapFanout[K comparable, V any](buckets, fanout int) *TMap[K, V] {
+	n := ceilPow2(buckets)
+	if fanout < 1 {
+		fanout = 1
+	}
+	m := &TMap[K, V]{
+		buckets: make([]*pnstm.TVar[map[K]V], n),
+		mask:    uint64(n - 1),
+		fanout:  fanout,
+	}
+	for i := range m.buckets {
+		m.buckets[i] = pnstm.NewTVar[map[K]V](nil)
+	}
+	return m
+}
+
+// Buckets returns the bucket count (diagnostics and benchmarks).
+func (m *TMap[K, V]) Buckets() int { return len(m.buckets) }
+
+func (m *TMap[K, V]) bucket(k K) *pnstm.TVar[map[K]V] {
+	return m.buckets[hashKey(k)&m.mask]
+}
+
+// Get returns the value stored under k and whether it was present.
+func (m *TMap[K, V]) Get(c *pnstm.Ctx, k K) (V, bool) {
+	var v V
+	var ok bool
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		v, ok = pnstm.Load(c, m.bucket(k))[k]
+		return nil
+	})
+	return v, ok
+}
+
+// Contains reports whether k is present.
+func (m *TMap[K, V]) Contains(c *pnstm.Ctx, k K) bool {
+	_, ok := m.Get(c, k)
+	return ok
+}
+
+// Put stores v under k, replacing any previous value.
+func (m *TMap[K, V]) Put(c *pnstm.Ctx, k K, v V) {
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		tv := m.bucket(k)
+		next := cloneBucket(pnstm.Load(c, tv), 1)
+		next[k] = v
+		pnstm.Store(c, tv, next)
+		return nil
+	})
+}
+
+// Delete removes k and reports whether it was present.
+func (m *TMap[K, V]) Delete(c *pnstm.Ctx, k K) bool {
+	var had bool
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		tv := m.bucket(k)
+		old := pnstm.Load(c, tv)
+		if _, had = old[k]; !had {
+			return nil
+		}
+		next := cloneBucket(old, 0)
+		delete(next, k)
+		pnstm.Store(c, tv, next)
+		return nil
+	})
+	return had
+}
+
+// Update atomically transforms the value under k: f receives the current
+// value (or the zero V) and whether k was present, and returns the value
+// to store and whether to keep the key at all (false deletes it). Update
+// returns the stored value and the keep decision. f may run several times
+// (transaction retry) and must be side-effect free.
+func (m *TMap[K, V]) Update(c *pnstm.Ctx, k K, f func(V, bool) (V, bool)) (V, bool) {
+	var out V
+	var kept bool
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		tv := m.bucket(k)
+		old := pnstm.Load(c, tv)
+		cur, ok := old[k]
+		out, kept = f(cur, ok)
+		if kept {
+			next := cloneBucket(old, 1)
+			next[k] = out
+			pnstm.Store(c, tv, next)
+		} else if ok {
+			next := cloneBucket(old, 0)
+			delete(next, k)
+			pnstm.Store(c, tv, next)
+		}
+		return nil
+	})
+	return out, kept
+}
+
+// Len returns the number of entries. It is a bulk read: one nested child
+// per bucket group counts its slice of the bucket array in parallel.
+func (m *TMap[K, V]) Len(c *pnstm.Ctx) int {
+	var total int
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		sums := make([]int, m.groupCount())
+		m.forEachGroup(c, func(c *pnstm.Ctx, g, lo, hi int) {
+			n := 0
+			for i := lo; i < hi; i++ {
+				n += len(pnstm.Load(c, m.buckets[i]))
+			}
+			sums[g] = n
+		})
+		total = 0
+		for _, n := range sums {
+			total += n
+		}
+		return nil
+	})
+	return total
+}
+
+// Range calls f for every entry. One nested child per bucket group walks
+// its buckets, so f is called concurrently from parallel children (and
+// possibly more than once per entry if a child retries): f must be safe
+// for concurrent use and idempotent, or commutative like an atomic
+// accumulation. For a plain consistent copy use Snapshot.
+func (m *TMap[K, V]) Range(c *pnstm.Ctx, f func(K, V)) {
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		m.forEachGroup(c, func(c *pnstm.Ctx, g, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for k, v := range pnstm.Load(c, m.buckets[i]) {
+					f(k, v)
+				}
+			}
+		})
+		return nil
+	})
+}
+
+// Snapshot returns a consistent copy of the whole map, collected by one
+// nested child per bucket group and merged after the join.
+func (m *TMap[K, V]) Snapshot(c *pnstm.Ctx) map[K]V {
+	var out map[K]V
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		parts := make([]map[K]V, m.groupCount())
+		m.forEachGroup(c, func(c *pnstm.Ctx, g, lo, hi int) {
+			part := make(map[K]V)
+			for i := lo; i < hi; i++ {
+				for k, v := range pnstm.Load(c, m.buckets[i]) {
+					part[k] = v
+				}
+			}
+			parts[g] = part
+		})
+		out = make(map[K]V)
+		for _, part := range parts {
+			for k, v := range part {
+				out[k] = v
+			}
+		}
+		return nil
+	})
+	return out
+}
+
+// Clear removes every entry, one nested child per bucket group.
+func (m *TMap[K, V]) Clear(c *pnstm.Ctx) {
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		m.forEachGroup(c, func(c *pnstm.Ctx, g, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if pnstm.Load(c, m.buckets[i]) != nil {
+					pnstm.Store[map[K]V](c, m.buckets[i], nil)
+				}
+			}
+		})
+		return nil
+	})
+}
+
+// BulkUpdate applies f to every key in keys as one atomic step. Keys are
+// grouped by bucket group and one nested child per non-empty group
+// applies its share in parallel; keys hashing to different groups are
+// updated by different child transactions. f has Update semantics:
+// (current value, present) in, (new value, keep) out. Duplicate keys in
+// keys are applied once per occurrence in an unspecified order; f must be
+// side-effect free (children retry on conflict).
+func (m *TMap[K, V]) BulkUpdate(c *pnstm.Ctx, keys []K, f func(K, V, bool) (V, bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		bounds := groupBounds(len(m.buckets), m.fanout)
+		groups := make([][]K, len(bounds)-1)
+		for _, k := range keys {
+			b := int(hashKey(k) & m.mask)
+			g := groupOf(bounds, b)
+			groups[g] = append(groups[g], k)
+		}
+		var fns []func(*pnstm.Ctx)
+		for g := range groups {
+			g := g
+			if len(groups[g]) == 0 {
+				continue
+			}
+			fns = append(fns, func(c *pnstm.Ctx) {
+				_ = c.Atomic(func(c *pnstm.Ctx) error {
+					// Group this child's keys by bucket so each touched
+					// bucket is cloned and stored once, however many keys
+					// land in it.
+					byBucket := make(map[int][]K)
+					for _, k := range groups[g] {
+						b := int(hashKey(k) & m.mask)
+						byBucket[b] = append(byBucket[b], k)
+					}
+					for b, ks := range byBucket {
+						tv := m.buckets[b]
+						old := pnstm.Load(c, tv)
+						next := cloneBucket(old, len(ks))
+						dirty := false
+						for _, k := range ks {
+							cur, ok := next[k]
+							v, keep := f(k, cur, ok)
+							if keep {
+								next[k] = v
+								dirty = true
+							} else if ok {
+								delete(next, k)
+								dirty = true
+							}
+						}
+						if dirty {
+							pnstm.Store(c, tv, next)
+						}
+					}
+					return nil
+				})
+			})
+		}
+		c.Parallel(fns...)
+		return nil
+	})
+}
+
+// groupCount returns the number of bucket groups bulk operations use.
+func (m *TMap[K, V]) groupCount() int {
+	g := m.fanout
+	if g > len(m.buckets) {
+		g = len(m.buckets)
+	}
+	return g
+}
+
+// forEachGroup forks one nested child transaction per bucket group and
+// invokes body(g, lo, hi) inside it. It must be called from inside an
+// Atomic (the children become parallel children of that transaction).
+func (m *TMap[K, V]) forEachGroup(c *pnstm.Ctx, body func(c *pnstm.Ctx, g, lo, hi int)) {
+	bounds := groupBounds(len(m.buckets), m.fanout)
+	fns := make([]func(*pnstm.Ctx), len(bounds)-1)
+	for g := range fns {
+		g := g
+		fns[g] = func(c *pnstm.Ctx) {
+			_ = c.Atomic(func(c *pnstm.Ctx) error {
+				body(c, g, bounds[g], bounds[g+1])
+				return nil
+			})
+		}
+	}
+	c.Parallel(fns...)
+}
+
+// groupOf returns the group whose [bounds[g], bounds[g+1]) range contains
+// bucket b.
+func groupOf(bounds []int, b int) int {
+	lo, hi := 0, len(bounds)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if b >= bounds[mid] {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// cloneBucket copies a bucket map with room for extra more entries. The
+// stored maps are immutable: every mutation goes through a clone, so that
+// the STM's by-reference undo records stay valid after rollback.
+func cloneBucket[K comparable, V any](old map[K]V, extra int) map[K]V {
+	next := make(map[K]V, len(old)+extra)
+	for k, v := range old {
+		next[k] = v
+	}
+	return next
+}

@@ -1,0 +1,130 @@
+package stmlib
+
+import (
+	"pnstm"
+)
+
+// qnode is one cell of a persistent cons list. Nodes are immutable after
+// construction, which is what makes the queue safe under the STM's
+// by-reference rollback: an abort restores an old list head, and the old
+// list is still intact because no push or pop ever mutates a node.
+type qnode[T any] struct {
+	v    T
+	next *qnode[T]
+}
+
+// TQueue is a transactional FIFO queue, implemented as the classic
+// two-stack (Okasaki banker's) queue over persistent cons lists: pushes
+// cons onto the in-stack in O(1); pops take from the out-stack, reversing
+// the in-stack into it when it runs dry — O(1) amortized per element.
+//
+// Every operation is one nested transaction, so queue operations compose
+// with any other transactional state: a body that pops an order, updates
+// a TMap and bumps a TCounter commits or aborts as one unit. Because a
+// pop touches the same two variables as every other pop, concurrent
+// non-ancestor poppers conflict and serialize — a queue is a point of
+// ordering by design. Parallel siblings that each push commute on the
+// size variable only after serializing on the in-stack head; use one
+// queue per producer (fan-in on pop) if push throughput dominates.
+//
+// Create with NewTQueue; the zero value is not usable.
+type TQueue[T any] struct {
+	in   *pnstm.TVar[*qnode[T]] // newest push first
+	out  *pnstm.TVar[*qnode[T]] // oldest element first, ready to pop
+	size *pnstm.TVar[int]
+}
+
+// NewTQueue returns an empty queue.
+func NewTQueue[T any]() *TQueue[T] {
+	return &TQueue[T]{
+		in:   pnstm.NewTVar[*qnode[T]](nil),
+		out:  pnstm.NewTVar[*qnode[T]](nil),
+		size: pnstm.NewTVar(0),
+	}
+}
+
+// Push appends v to the back of the queue.
+func (q *TQueue[T]) Push(c *pnstm.Ctx, v T) {
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		pnstm.Store(c, q.in, &qnode[T]{v: v, next: pnstm.Load(c, q.in)})
+		pnstm.Update(c, q.size, func(n int) int { return n + 1 })
+		return nil
+	})
+}
+
+// PushAll appends vs in order as one atomic step.
+func (q *TQueue[T]) PushAll(c *pnstm.Ctx, vs ...T) {
+	if len(vs) == 0 {
+		return
+	}
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		head := pnstm.Load(c, q.in)
+		for _, v := range vs {
+			head = &qnode[T]{v: v, next: head}
+		}
+		pnstm.Store(c, q.in, head)
+		pnstm.Update(c, q.size, func(n int) int { return n + len(vs) })
+		return nil
+	})
+}
+
+// Pop removes and returns the front element; ok is false when the queue
+// is empty.
+func (q *TQueue[T]) Pop(c *pnstm.Ctx) (v T, ok bool) {
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		head := q.flip(c)
+		if head == nil {
+			return nil
+		}
+		pnstm.Store(c, q.out, head.next)
+		pnstm.Update(c, q.size, func(n int) int { return n - 1 })
+		v, ok = head.v, true
+		return nil
+	})
+	return v, ok
+}
+
+// Peek returns the front element without removing it; ok is false when
+// the queue is empty. (Peeking still counts as an access for conflict
+// detection — in this STM every access does, paper §4.2 — but it runs the
+// in-stack reversal at most once, like Pop.)
+func (q *TQueue[T]) Peek(c *pnstm.Ctx) (v T, ok bool) {
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		if head := q.flip(c); head != nil {
+			v, ok = head.v, true
+		}
+		return nil
+	})
+	return v, ok
+}
+
+// Len returns the number of queued elements.
+func (q *TQueue[T]) Len(c *pnstm.Ctx) int {
+	var n int
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		n = pnstm.Load(c, q.size)
+		return nil
+	})
+	return n
+}
+
+// flip returns the current out-stack head, reversing the in-stack into
+// the out-stack first if the out-stack is empty. Caller must be inside an
+// Atomic.
+func (q *TQueue[T]) flip(c *pnstm.Ctx) *qnode[T] {
+	head := pnstm.Load(c, q.out)
+	if head != nil {
+		return head
+	}
+	in := pnstm.Load(c, q.in)
+	if in == nil {
+		return nil
+	}
+	var rev *qnode[T]
+	for n := in; n != nil; n = n.next {
+		rev = &qnode[T]{v: n.v, next: rev}
+	}
+	pnstm.Store[*qnode[T]](c, q.in, nil)
+	pnstm.Store(c, q.out, rev)
+	return rev
+}

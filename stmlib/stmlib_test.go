@@ -1,0 +1,26 @@
+package stmlib_test
+
+import (
+	"testing"
+
+	"pnstm"
+)
+
+// newRT builds a runtime for tests and closes it at cleanup.
+func newRT(t testing.TB, workers int, serial bool) *pnstm.Runtime {
+	t.Helper()
+	rt, err := pnstm.New(pnstm.Config{Workers: workers, Serial: serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// run executes fn as a root block and fails the test on error.
+func run(t testing.TB, rt *pnstm.Runtime, fn func(*pnstm.Ctx)) {
+	t.Helper()
+	if err := rt.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+}
