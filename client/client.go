@@ -1,0 +1,321 @@
+// Package client is the Go client for pnstmd: a pool of pipelined
+// connections speaking the server's length-prefixed binary protocol,
+// with typed helpers for the named structures (maps, queues, counters)
+// and the cross-structure checkout operation.
+//
+// A Client is safe for concurrent use; that is the intended shape.
+// Every in-flight request from every goroutine rides one of the pooled
+// connections and is matched to its response by id, so N concurrent
+// callers pipeline naturally — and on the server side, concurrent
+// requests are what the group-commit batcher coalesces into one root
+// transaction with a parallel nested child per request.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnstm/server"
+)
+
+// Options configures Dial.
+type Options struct {
+	// Conns is the connection-pool size (default 1). More connections
+	// help when a single TCP stream's serialization becomes the
+	// bottleneck; requests are spread round-robin.
+	Conns int
+
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+}
+
+// Client is a pooled, pipelined pnstmd client.
+type Client struct {
+	conns []*conn
+	next  atomic.Uint64
+}
+
+// conn is one pooled connection with an id-demultiplexed reader.
+type conn struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan *server.Response
+	err     error
+	closed  chan struct{}
+
+	nextID atomic.Uint64
+}
+
+// Dial connects the pool.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	cl := &Client{}
+	for i := 0; i < opts.Conns; i++ {
+		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		}
+		c := &conn{
+			nc:      nc,
+			bw:      bufio.NewWriter(nc),
+			pending: make(map[uint64]chan *server.Response),
+			closed:  make(chan struct{}),
+		}
+		go c.readLoop()
+		cl.conns = append(cl.conns, c)
+	}
+	return cl, nil
+}
+
+// Close tears down every pooled connection; in-flight calls fail.
+func (cl *Client) Close() {
+	for _, c := range cl.conns {
+		c.fail(fmt.Errorf("client: closed"))
+		c.nc.Close()
+	}
+}
+
+// pick returns the next pool connection round-robin.
+func (cl *Client) pick() *conn {
+	return cl.conns[cl.next.Add(1)%uint64(len(cl.conns))]
+}
+
+// readLoop demultiplexes responses to their waiting callers.
+func (c *conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		frame, err := server.ReadFrame(br)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		resp, err := server.ParseResponse(frame)
+		if err != nil {
+			c.fail(err)
+			c.nc.Close()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch == nil {
+			// Every response must answer a registered request (ids are
+			// assigned before the frame is written). An unmatched id —
+			// e.g. the server could not recover the id from a corrupt
+			// request — means the stream contract is broken: fail the
+			// connection so every waiter errors out instead of one of
+			// them hanging forever.
+			c.fail(fmt.Errorf("client: unmatched response id %d, closing connection", resp.ID))
+			c.nc.Close()
+			return
+		}
+		ch <- resp
+	}
+}
+
+// fail marks the connection broken and releases every waiter. Idempotent.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.closed)
+	}
+	c.pending = make(map[uint64]chan *server.Response)
+	c.mu.Unlock()
+}
+
+// roundTrip sends req on one pooled connection and waits for its reply.
+func (cl *Client) roundTrip(req *server.Request) (*server.Response, error) {
+	c := cl.pick()
+	req.ID = c.nextID.Add(1)
+	ch := make(chan *server.Response, 1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	buf, err := server.AppendRequest(nil, req)
+	if err != nil {
+		// Unencodable request: fail just this call, not the connection.
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.wmu.Lock()
+	_, err = c.bw.Write(buf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("client: write: %w", err))
+		return nil, err
+	}
+
+	select {
+	case resp := <-ch:
+		if resp.Status == server.StatusErr {
+			return resp, fmt.Errorf("client: server error: %s", resp.Msg)
+		}
+		return resp, nil
+	case <-c.closed:
+		return nil, c.connErr()
+	}
+}
+
+func (c *conn) connErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// ---------------------------------------------------------------------------
+// Typed helpers
+// ---------------------------------------------------------------------------
+
+// Ping round-trips a no-op (liveness, warmup).
+func (cl *Client) Ping() error {
+	_, err := cl.roundTrip(&server.Request{Op: server.OpPing})
+	return err
+}
+
+// MapGet reads key from the named map.
+func (cl *Client) MapGet(name, key string) ([]byte, bool, error) {
+	resp, err := cl.roundTrip(&server.Request{Op: server.OpMapGet, Name: name, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// MapPut stores value under key in the named map.
+func (cl *Client) MapPut(name, key string, value []byte) error {
+	_, err := cl.roundTrip(&server.Request{Op: server.OpMapPut, Name: name, Key: key, Value: value})
+	return err
+}
+
+// MapDelete removes key; reports whether it was present.
+func (cl *Client) MapDelete(name, key string) (bool, error) {
+	resp, err := cl.roundTrip(&server.Request{Op: server.OpMapDelete, Name: name, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Found, nil
+}
+
+// MapLen returns the named map's entry count.
+func (cl *Client) MapLen(name string) (int64, error) {
+	resp, err := cl.roundTrip(&server.Request{Op: server.OpMapLen, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Num, nil
+}
+
+// MapPutInt stores an integer value (the encoding OpCheckout's stock
+// arithmetic understands).
+func (cl *Client) MapPutInt(name, key string, v int64) error {
+	return cl.MapPut(name, key, server.EncodeInt64(v))
+}
+
+// MapGetInt reads an integer value stored with MapPutInt.
+func (cl *Client) MapGetInt(name, key string) (int64, bool, error) {
+	raw, ok, err := cl.MapGet(name, key)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	v, err := server.DecodeInt64(raw)
+	if err != nil {
+		return 0, true, err
+	}
+	return v, true, nil
+}
+
+// QueuePush appends value to the named queue.
+func (cl *Client) QueuePush(name string, value []byte) error {
+	_, err := cl.roundTrip(&server.Request{Op: server.OpQueuePush, Name: name, Value: value})
+	return err
+}
+
+// QueuePop removes and returns the named queue's front element.
+func (cl *Client) QueuePop(name string) ([]byte, bool, error) {
+	resp, err := cl.roundTrip(&server.Request{Op: server.OpQueuePop, Name: name})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// QueueLen returns the named queue's length.
+func (cl *Client) QueueLen(name string) (int64, error) {
+	resp, err := cl.roundTrip(&server.Request{Op: server.OpQueueLen, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Num, nil
+}
+
+// CounterAdd adds delta to the named counter.
+func (cl *Client) CounterAdd(name string, delta int64) error {
+	_, err := cl.roundTrip(&server.Request{Op: server.OpCounterAdd, Name: name, Delta: delta})
+	return err
+}
+
+// CounterSum reads the named counter.
+func (cl *Client) CounterSum(name string) (int64, error) {
+	resp, err := cl.roundTrip(&server.Request{Op: server.OpCounterSum, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Num, nil
+}
+
+// Checkout atomically decrements every line's stock in the named map and
+// credits the checkout's counters. ok is false — with nil error — when
+// the server rejected the order for insufficient stock (the whole
+// checkout rolled back; failedSKU names the first short line).
+func (cl *Client) Checkout(stockMap string, co server.Checkout) (ok bool, failedSKU string, err error) {
+	resp, err := cl.roundTrip(&server.Request{Op: server.OpCheckout, Name: stockMap, Checkout: &co})
+	if err != nil {
+		return false, "", err
+	}
+	if resp.Status == server.StatusRejected {
+		return false, resp.Msg, nil
+	}
+	return true, "", nil
+}
+
+// Stats fetches the server's activity snapshot.
+func (cl *Client) Stats() (server.ServerStats, error) {
+	var st server.ServerStats
+	resp, err := cl.roundTrip(&server.Request{Op: server.OpStats})
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(resp.Value, &st); err != nil {
+		return st, fmt.Errorf("client: decode stats: %w", err)
+	}
+	return st, nil
+}

@@ -12,6 +12,8 @@
 //	pnstm-bench -fig 6 -paperscale         # 0..2s think times, as published (slow!)
 //	pnstm-bench -workload all              # stmlib structure workloads
 //	pnstm-bench -workload map -children 16 -span 256
+//	pnstm-bench -workload all -json .      # machine-readable BENCH_*.json
+//	pnstm-bench -fig 6 -json .             # figure grid as BENCH_figure-6.json
 //
 // The paper ran on a 64-hardware-thread Niagara 2 with 32 workers and
 // think times up to 2 s. The workload is think-time dominated, so the
@@ -45,6 +47,7 @@ func main() {
 		rounds   = flag.Int("rounds", 8, "structure workload: top-level transactions per run")
 		children = flag.Int("children", 8, "structure workload: parallel children per round")
 		span     = flag.Int("span", 128, "structure workload: per-child operations per round")
+		jsonDir  = flag.String("json", "", "directory to write BENCH_*.json reports into (shared encoder with pnstm-loadgen)")
 	)
 	flag.Parse()
 
@@ -55,7 +58,7 @@ func main() {
 			Children: *children,
 			Span:     *span,
 			Seed:     *seed,
-		})
+		}, *jsonDir)
 		return
 	}
 
@@ -99,11 +102,20 @@ func main() {
 		fmt.Println()
 		f.RenderDetail(os.Stdout)
 	}
+	if *jsonDir != "" {
+		path, err := bench.FigureReport(f, *fig).WriteFile(*jsonDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s\n", path)
+	}
 }
 
 // runWorkloads runs the requested stmlib structure workload families and
-// prints a serial-vs-parallel comparison table.
-func runWorkloads(which string, base bench.StructureConfig) {
+// prints a serial-vs-parallel comparison table; with jsonDir set it also
+// writes one BENCH_*.json report per family through the shared encoder.
+func runWorkloads(which string, base bench.StructureConfig, jsonDir string) {
 	names := bench.StructureWorkloads()
 	if which != "all" {
 		found := false
@@ -133,6 +145,14 @@ func runWorkloads(which string, base bench.StructureConfig) {
 		fmt.Printf("%-10s %14.0f %14.0f %9.2fx\n",
 			name, ser.OpsPerSec(), par.OpsPerSec(),
 			float64(ser.Wall)/float64(par.Wall))
+		if jsonDir != "" {
+			path, err := bench.WorkloadReport(cfg, ser, par).WriteFile(jsonDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pnstm-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s report: %s\n", "", path)
+		}
 	}
 	fmt.Println("\nspeedup > 1 means parallel-nested bulk operations beat the serial baseline;")
 	fmt.Println("expect < 1 on boxes with few hardware threads (fork/join overhead only).")

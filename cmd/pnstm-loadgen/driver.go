@@ -1,0 +1,459 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnstm/client"
+	"pnstm/server"
+)
+
+// genCfg parameterizes one load-generation run.
+type genCfg struct {
+	workload    string // readmap, queue, counter, checkout, mixed
+	concurrency int    // issuing goroutines
+	conns       int    // pooled client connections
+	duration    time.Duration
+	rate        float64 // total target ops/sec; 0 = closed loop
+	keys        int     // readmap key-space size
+	readFrac    float64 // readmap read fraction
+	skus        int     // checkout SKU count
+	stockPer    int64   // checkout initial units per SKU
+	queues      int     // queue workload: distinct queues
+	seed        int64
+}
+
+func (c *genCfg) fillDefaults() error {
+	switch c.workload {
+	case "readmap", "queue", "counter", "checkout", "mixed":
+	default:
+		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout or mixed)", c.workload)
+	}
+	if c.concurrency <= 0 {
+		c.concurrency = 16
+	}
+	if c.conns <= 0 {
+		c.conns = 4
+	}
+	if c.duration <= 0 {
+		c.duration = 5 * time.Second
+	}
+	if c.keys <= 0 {
+		c.keys = 1024
+	}
+	if c.readFrac <= 0 || c.readFrac > 1 {
+		c.readFrac = 0.9
+	}
+	if c.skus <= 0 {
+		c.skus = 16
+	}
+	if c.stockPer <= 0 {
+		c.stockPer = 100000
+	}
+	if c.queues <= 0 {
+		c.queues = 4
+	}
+	if c.seed == 0 {
+		c.seed = 1
+	}
+	return nil
+}
+
+// genResult is the outcome of one run.
+type genResult struct {
+	ops        int64
+	errs       int64
+	rejected   int64
+	wall       time.Duration
+	latencies  []time.Duration
+	violations []string
+
+	statsOK     bool
+	batchDelta  uint64
+	reqDelta    uint64
+	runtimeUsed server.ServerStats // the after snapshot
+	runtimeStat serverDelta
+}
+
+// serverDelta is the server-side activity attributable to the run.
+type serverDelta struct {
+	meanBatch  float64
+	abortRatio float64
+	committed  uint64
+	aborted    uint64
+}
+
+func (r *genResult) throughput() float64 {
+	if r.wall <= 0 {
+		return 0
+	}
+	return float64(r.ops) / r.wall.Seconds()
+}
+
+// driver owns the shared workload state across issuing goroutines.
+type driver struct {
+	cfg genCfg
+	cl  *client.Client
+
+	adds     atomic.Int64 // counter workload: sum of issued deltas
+	pushed   atomic.Int64
+	popped   atomic.Int64
+	accepted atomic.Int64
+	rejected atomic.Int64
+	mapPuts  atomic.Int64
+
+	// base snapshots the server state right after setup so verify()
+	// compares deltas: a long-lived pnstmd carries counters and queue
+	// contents from earlier runs.
+	base struct {
+		mapLen  int64
+		queues  int64
+		counter int64
+		sold    int64
+		revenue int64
+	}
+}
+
+const (
+	mapName     = "bench:m"
+	counterName = "bench:hits"
+	stockName   = "bench:stock"
+	soldName    = "bench:sold"
+	revenueName = "bench:revenue"
+)
+
+func queueName(i int) string { return fmt.Sprintf("bench:q%d", i) }
+func keyName(i int) string   { return fmt.Sprintf("k%06d", i) }
+func skuName(i int) string   { return fmt.Sprintf("sku%03d", i) }
+
+// setup provisions the structures the run reads from.
+func (d *driver) setup() error {
+	c := d.cfg
+	if c.workload == "readmap" || c.workload == "mixed" {
+		for i := 0; i < c.keys; i++ {
+			if err := d.cl.MapPut(mapName, keyName(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				return fmt.Errorf("setup map: %w", err)
+			}
+		}
+	}
+	if c.workload == "checkout" || c.workload == "mixed" {
+		for i := 0; i < c.skus; i++ {
+			if err := d.cl.MapPutInt(stockName, skuName(i), c.stockPer); err != nil {
+				return fmt.Errorf("setup stock: %w", err)
+			}
+		}
+	}
+	return d.snapshotBaselines()
+}
+
+// snapshotBaselines records the post-setup server state the invariants
+// are measured against. Stock is re-provisioned by setup, but counters
+// and queues persist across runs on a long-lived server.
+func (d *driver) snapshotBaselines() error {
+	c := d.cfg
+	var err error
+	read := func(dst *int64, f func() (int64, error)) {
+		if err != nil {
+			return
+		}
+		*dst, err = f()
+	}
+	if c.workload == "readmap" || c.workload == "mixed" {
+		read(&d.base.mapLen, func() (int64, error) { return d.cl.MapLen(mapName) })
+	}
+	if c.workload == "queue" || c.workload == "mixed" {
+		for i := 0; i < c.queues; i++ {
+			i := i
+			var n int64
+			read(&n, func() (int64, error) { return d.cl.QueueLen(queueName(i)) })
+			d.base.queues += n
+		}
+	}
+	if c.workload == "counter" || c.workload == "mixed" {
+		read(&d.base.counter, func() (int64, error) { return d.cl.CounterSum(counterName) })
+	}
+	if c.workload == "checkout" || c.workload == "mixed" {
+		read(&d.base.sold, func() (int64, error) { return d.cl.CounterSum(soldName) })
+		read(&d.base.revenue, func() (int64, error) { return d.cl.CounterSum(revenueName) })
+	}
+	if err != nil {
+		return fmt.Errorf("setup baselines: %w", err)
+	}
+	return nil
+}
+
+// op issues one operation of the configured workload and reports whether
+// it counted (errors are tallied by the caller).
+func (d *driver) op(rng *rand.Rand) error {
+	switch d.cfg.workload {
+	case "readmap":
+		return d.opReadMap(rng)
+	case "queue":
+		return d.opQueue(rng)
+	case "counter":
+		return d.opCounter(rng)
+	case "checkout":
+		return d.opCheckout(rng)
+	case "mixed":
+		switch r := rng.Intn(10); {
+		case r < 4:
+			return d.opReadMap(rng)
+		case r < 6:
+			return d.opCounter(rng)
+		case r < 8:
+			return d.opQueue(rng)
+		default:
+			return d.opCheckout(rng)
+		}
+	}
+	return fmt.Errorf("unreachable workload")
+}
+
+func (d *driver) opReadMap(rng *rand.Rand) error {
+	key := keyName(rng.Intn(d.cfg.keys))
+	if rng.Float64() < d.cfg.readFrac {
+		_, _, err := d.cl.MapGet(mapName, key)
+		return err
+	}
+	d.mapPuts.Add(1)
+	return d.cl.MapPut(mapName, key, []byte(fmt.Sprintf("v%d", rng.Int())))
+}
+
+func (d *driver) opQueue(rng *rand.Rand) error {
+	q := queueName(rng.Intn(d.cfg.queues))
+	// Bias pushes slightly so pops usually find elements; the imbalance
+	// is reconciled against QueueLen at verify time.
+	if rng.Intn(5) < 3 {
+		if err := d.cl.QueuePush(q, server.EncodeInt64(rng.Int63())); err != nil {
+			return err
+		}
+		d.pushed.Add(1)
+		return nil
+	}
+	_, ok, err := d.cl.QueuePop(q)
+	if err != nil {
+		return err
+	}
+	if ok {
+		d.popped.Add(1)
+	}
+	return nil
+}
+
+func (d *driver) opCounter(rng *rand.Rand) error {
+	if rng.Intn(64) == 0 {
+		_, err := d.cl.CounterSum(counterName)
+		return err
+	}
+	delta := int64(1 + rng.Intn(4))
+	if err := d.cl.CounterAdd(counterName, delta); err != nil {
+		return err
+	}
+	d.adds.Add(delta)
+	return nil
+}
+
+func (d *driver) opCheckout(rng *rand.Rand) error {
+	nLines := 1 + rng.Intn(3)
+	lines := make([]server.CheckoutLine, 0, nLines)
+	seen := make(map[int]bool, nLines)
+	var units int64
+	for len(lines) < nLines {
+		s := rng.Intn(d.cfg.skus)
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		qty := int64(1 + rng.Intn(3))
+		lines = append(lines, server.CheckoutLine{SKU: skuName(s), Qty: qty})
+		units += qty
+	}
+	ok, _, err := d.cl.Checkout(stockName, server.Checkout{
+		Sold:    soldName,
+		Revenue: revenueName,
+		Cents:   units * 100,
+		Lines:   lines,
+	})
+	if err != nil {
+		return err
+	}
+	if ok {
+		d.accepted.Add(1)
+	} else {
+		d.rejected.Add(1)
+	}
+	return nil
+}
+
+// verify checks the workload's closed-form invariants against the
+// server's final state and returns the violations.
+func (d *driver) verify() []string {
+	var out []string
+	c := d.cfg
+	fail := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+
+	if c.workload == "readmap" || c.workload == "mixed" {
+		n, err := d.cl.MapLen(mapName)
+		if err != nil {
+			fail("map len: %v", err)
+		} else if n != d.base.mapLen {
+			fail("map len %d, want %d (puts only overwrite preloaded keys)", n, d.base.mapLen)
+		}
+	}
+	if c.workload == "queue" || c.workload == "mixed" {
+		var remaining int64
+		for i := 0; i < c.queues; i++ {
+			n, err := d.cl.QueueLen(queueName(i))
+			if err != nil {
+				fail("queue len: %v", err)
+				break
+			}
+			remaining += n
+		}
+		if want := d.base.queues + d.pushed.Load() - d.popped.Load(); remaining != want {
+			fail("queues hold %d elements, want baseline+pushed−popped = %d", remaining, want)
+		}
+	}
+	if c.workload == "counter" || c.workload == "mixed" {
+		sum, err := d.cl.CounterSum(counterName)
+		if err != nil {
+			fail("counter sum: %v", err)
+		} else if sum != d.base.counter+d.adds.Load() {
+			fail("counter = %d, want %d (baseline + issued adds)", sum, d.base.counter+d.adds.Load())
+		}
+	}
+	if c.workload == "checkout" || c.workload == "mixed" {
+		var remaining int64
+		for i := 0; i < c.skus; i++ {
+			v, ok, err := d.cl.MapGetInt(stockName, skuName(i))
+			if err != nil || !ok {
+				fail("stock %s: ok=%v err=%v", skuName(i), ok, err)
+				return out
+			}
+			if v < 0 {
+				fail("stock %s oversold: %d", skuName(i), v)
+			}
+			remaining += v
+		}
+		soldAbs, err := d.cl.CounterSum(soldName)
+		if err != nil {
+			fail("sold sum: %v", err)
+			return out
+		}
+		revenueAbs, err := d.cl.CounterSum(revenueName)
+		if err != nil {
+			fail("revenue sum: %v", err)
+			return out
+		}
+		// Stock was re-provisioned by setup; sold/revenue persist, so the
+		// conservation law is over this run's deltas.
+		sold := soldAbs - d.base.sold
+		revenue := revenueAbs - d.base.revenue
+		if total, want := remaining+sold, int64(c.skus)*c.stockPer; total != want {
+			fail("conservation violated: remaining %d + sold %d = %d, want %d", remaining, sold, total, want)
+		}
+		if revenue != sold*100 {
+			fail("revenue %d inconsistent with %d units sold", revenue, sold)
+		}
+	}
+	return out
+}
+
+// runLoad drives the configured workload against the client and collects
+// the result. The server-stats delta (batching behaviour, abort rate) is
+// captured when the server answers OpStats.
+func runLoad(cl *client.Client, cfg genCfg) (*genResult, error) {
+	d := &driver{cfg: cfg, cl: cl}
+	if err := d.setup(); err != nil {
+		return nil, err
+	}
+
+	before, statsOK := server.ServerStats{}, true
+	if st, err := cl.Stats(); err == nil {
+		before = st
+	} else {
+		statsOK = false
+	}
+
+	res := &genResult{}
+	var mu sync.Mutex
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.concurrency; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(g)*7919))
+			lats := make([]time.Duration, 0, 4096)
+			var ops, errs int64
+
+			// Open loop: each goroutine fires at rate/concurrency and
+			// measures from the scheduled instant, so queueing delay under
+			// overload shows up in the percentiles. Closed loop (rate 0):
+			// back-to-back, measured from send.
+			var interval time.Duration
+			next := time.Now()
+			if cfg.rate > 0 {
+				interval = time.Duration(float64(time.Second) * float64(cfg.concurrency) / cfg.rate)
+			}
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					break
+				}
+				issuedAt := now
+				if interval > 0 {
+					if next.After(now) {
+						time.Sleep(next.Sub(now))
+					}
+					issuedAt = next
+					next = next.Add(interval)
+				}
+				if err := d.op(rng); err != nil {
+					errs++
+					// A dead connection fails every subsequent op; stop
+					// instead of spinning on it.
+					if time.Now().After(deadline) || errs > 100 {
+						break
+					}
+					continue
+				}
+				ops++
+				lats = append(lats, time.Since(issuedAt))
+			}
+			mu.Lock()
+			res.ops += ops
+			res.errs += errs
+			res.latencies = append(res.latencies, lats...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+	res.rejected = d.rejected.Load()
+	res.violations = d.verify()
+
+	if statsOK {
+		if after, err := cl.Stats(); err == nil {
+			res.statsOK = true
+			res.runtimeUsed = after
+			res.batchDelta = after.Batches - before.Batches
+			res.reqDelta = after.Requests - before.Requests
+			rd := after.Runtime.Sub(before.Runtime)
+			res.runtimeStat = serverDelta{
+				abortRatio: rd.AbortRate(),
+				committed:  rd.Committed,
+				aborted:    rd.Aborted,
+			}
+			if res.batchDelta > 0 {
+				res.runtimeStat.meanBatch = float64(res.reqDelta) / float64(res.batchDelta)
+			}
+		}
+	}
+	return res, nil
+}

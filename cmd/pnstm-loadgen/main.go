@@ -1,0 +1,300 @@
+// Command pnstm-loadgen drives configurable workload mixes against a
+// pnstmd server and emits a machine-readable BENCH_*.json summary
+// (throughput, latency percentiles, abort rate from the server's
+// runtime stats) through the shared internal/bench encoder.
+//
+// Workloads:
+//
+//	readmap   read-heavy point ops on one named map (-readfrac)
+//	queue     producer/consumer traffic over several named queues
+//	counter   hot-counter increments with occasional parallel-nested sums
+//	checkout  cross-structure orders (stock map + sold/revenue counters),
+//	          with conservation invariants checked at the end
+//	mixed     all of the above interleaved
+//
+// Usage:
+//
+//	pnstm-loadgen -addr localhost:7455 -workload readmap -duration 5s
+//	pnstm-loadgen -workload mixed -concurrency 32 -conns 8 -json .
+//	pnstm-loadgen -workload readmap -rate 20000          # open loop
+//	pnstm-loadgen -compare -workload readmap -json .     # embedded A/B:
+//	        group commit (batched) vs batch-size-1 serial execution
+//
+// Every run verifies its workload's closed-form invariants against the
+// final server state and exits nonzero on a violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pnstm/client"
+	"pnstm/internal/bench"
+	"pnstm/server"
+	"pnstm/stmlib"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:7455", "pnstmd address")
+		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout or mixed")
+		concurrency = flag.Int("concurrency", 16, "issuing goroutines")
+		conns       = flag.Int("conns", 4, "pooled client connections")
+		duration    = flag.Duration("duration", 5*time.Second, "measurement window")
+		rate        = flag.Float64("rate", 0, "total target ops/sec (0: closed loop)")
+		keys        = flag.Int("keys", 1024, "readmap key-space size")
+		readFrac    = flag.Float64("readfrac", 0.9, "readmap read fraction")
+		skus        = flag.Int("skus", 16, "checkout SKU count")
+		stockPer    = flag.Int64("stock", 100000, "checkout initial units per SKU")
+		queues      = flag.Int("queues", 4, "queue workload: distinct queues")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		jsonDir     = flag.String("json", "", "directory to write the BENCH_*.json report into (empty: stdout summary only)")
+		name        = flag.String("name", "", "report name override")
+
+		compare      = flag.Bool("compare", false, "embedded A/B: run against two in-process servers — group commit vs batch-size-1 serial — instead of -addr")
+		compareBatch = flag.Int("comparebatch", 64, "compare mode: MaxBatch of the batched server")
+		workers      = flag.Int("workers", 8, "compare mode: worker slots of the embedded servers")
+	)
+	flag.Parse()
+
+	cfg := genCfg{
+		workload:    *workload,
+		concurrency: *concurrency,
+		conns:       *conns,
+		duration:    *duration,
+		rate:        *rate,
+		keys:        *keys,
+		readFrac:    *readFrac,
+		skus:        *skus,
+		stockPer:    *stockPer,
+		queues:      *queues,
+		seed:        *seed,
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *compare {
+		if err := runCompare(cfg, *workers, *compareBatch, *jsonDir, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cl, err := client.Dial(*addr, client.Options{Conns: cfg.conns})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	res, err := runLoad(cl, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	printResult(cfg, res)
+
+	if *jsonDir != "" {
+		rep := buildReport(cfg, res, *name)
+		path, err := rep.WriteFile(*jsonDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s\n", path)
+	}
+	if len(res.violations) > 0 || res.errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// printResult renders the human-readable summary.
+func printResult(cfg genCfg, res *genResult) {
+	fmt.Printf("%s: %d ops in %v = %.0f ops/s (%d errors, %d rejected)\n",
+		cfg.workload, res.ops, res.wall.Round(time.Millisecond), res.throughput(), res.errs, res.rejected)
+	lm := bench.LatencyMetrics(res.latencies)
+	if len(lm) > 0 {
+		fmt.Printf("latency: p50 %.0fµs  p90 %.0fµs  p99 %.0fµs  max %.0fµs\n",
+			lm["latency_p50_us"], lm["latency_p90_us"], lm["latency_p99_us"], lm["latency_max_us"])
+	}
+	if res.statsOK {
+		fmt.Printf("server: %d batches, mean batch %.2f, abort ratio %.4f\n",
+			res.batchDelta, res.runtimeStat.meanBatch, res.runtimeStat.abortRatio)
+	}
+	for _, v := range res.violations {
+		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATED: %s\n", v)
+	}
+}
+
+// buildReport renders a run as the shared Report shape.
+func buildReport(cfg genCfg, res *genResult, name string) *bench.Report {
+	if name == "" {
+		name = "loadgen-" + cfg.workload
+	}
+	metrics := map[string]float64{
+		"throughput_per_sec": res.throughput(),
+		"ops":                float64(res.ops),
+		"errors":             float64(res.errs),
+		"rejected":           float64(res.rejected),
+		"wall_us":            float64(res.wall) / float64(time.Microsecond),
+	}
+	for k, v := range bench.LatencyMetrics(res.latencies) {
+		metrics[k] = v
+	}
+	rep := &bench.Report{
+		Name: name,
+		Kind: "loadgen",
+		Config: map[string]any{
+			"workload":    cfg.workload,
+			"concurrency": cfg.concurrency,
+			"conns":       cfg.conns,
+			"duration":    cfg.duration.String(),
+			"rate":        cfg.rate,
+			"keys":        cfg.keys,
+			"readfrac":    cfg.readFrac,
+			"skus":        cfg.skus,
+			"stock":       cfg.stockPer,
+			"queues":      cfg.queues,
+			"seed":        cfg.seed,
+		},
+		Metrics: metrics,
+	}
+	if res.statsOK {
+		metrics["batches"] = float64(res.batchDelta)
+		metrics["mean_batch"] = res.runtimeStat.meanBatch
+		metrics["abort_ratio"] = res.runtimeStat.abortRatio
+		metrics["tx_committed"] = float64(res.runtimeStat.committed)
+		metrics["tx_aborted"] = float64(res.runtimeStat.aborted)
+		rt := res.runtimeUsed.Runtime
+		rep.Stats = &rt
+		rep.Config["server_max_batch"] = res.runtimeUsed.MaxBatch
+		rep.Config["server_workers"] = res.runtimeUsed.Workers
+		rep.Config["server_serial"] = res.runtimeUsed.Serial
+	}
+	if len(res.violations) == 0 {
+		rep.Notes = append(rep.Notes, "invariants ok")
+	} else {
+		rep.Notes = append(rep.Notes, res.violations...)
+	}
+	return rep
+}
+
+// runCompare boots two in-process servers on the loopback — batch-size-1
+// serial execution vs group commit — runs the same workload against
+// both, and reports the comparison (the paper's serial-vs-parallel
+// nesting evaluation, measured end to end through the network stack).
+func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
+	type mode struct {
+		label string
+		scfg  server.Config
+	}
+	// Both servers share the runtime mode and structure sizing; the only
+	// difference is the group-commit batching. The batched server uses
+	// the shared-read conflict model (§9) — without it, read-mostly batch
+	// siblings false-conflict on shared buckets; the serial server has no
+	// concurrency to conflict, so the flag is irrelevant there.
+	reg := stmlib.RegistryConfig{MapBuckets: 4 * cfg.keys}
+	// Read-dominant traffic additionally pipelines group commits
+	// (MaxInflight > 1): safe there because shared reads never conflict
+	// across batches. Write-heavy workloads keep the classic
+	// one-batch-at-a-time group commit — overlapping writer batches
+	// would livelock on the hot keys.
+	inflight := 1
+	if cfg.workload == "readmap" {
+		inflight = 4
+	}
+	modes := []mode{
+		{"serial", server.Config{Workers: workers, MaxBatch: 1, Serial: true, Registry: reg}},
+		{"batched", server.Config{Workers: workers, MaxBatch: maxBatch, SharedReads: true, MaxInflight: inflight, Registry: reg}},
+	}
+	results := make(map[string]*genResult, len(modes))
+	for _, m := range modes {
+		m.scfg.Addr = "127.0.0.1:0"
+		s, err := server.New(m.scfg)
+		if err != nil {
+			return err
+		}
+		if err := s.Listen(); err != nil {
+			return err
+		}
+		go s.Serve() //nolint:errcheck // torn down via Close below
+		cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+		if err != nil {
+			s.Close()
+			return err
+		}
+		fmt.Printf("== %s (workers=%d batch=%d serial=%v)\n", m.label, workers, m.scfg.MaxBatch, m.scfg.Serial)
+		res, err := runLoad(cl, cfg)
+		cl.Close()
+		s.Close()
+		if err != nil {
+			return err
+		}
+		printResult(cfg, res)
+		results[m.label] = res
+	}
+
+	ser, bat := results["serial"], results["batched"]
+	speedup := 0.0
+	if ser.throughput() > 0 {
+		speedup = bat.throughput() / ser.throughput()
+	}
+	fmt.Printf("== group commit vs batch-size-1 serial: %.2fx throughput\n", speedup)
+
+	if jsonDir != "" {
+		if name == "" {
+			name = "loadgen-" + cfg.workload + "-compare"
+		}
+		metrics := map[string]float64{
+			"serial_throughput_per_sec":  ser.throughput(),
+			"batched_throughput_per_sec": bat.throughput(),
+			"speedup_ratio":              speedup,
+			"serial_ops":                 float64(ser.ops),
+			"batched_ops":                float64(bat.ops),
+			"batched_mean_batch":         bat.runtimeStat.meanBatch,
+			"batched_abort_ratio":        bat.runtimeStat.abortRatio,
+		}
+		for k, v := range bench.LatencyMetrics(bat.latencies) {
+			metrics["batched_"+k] = v
+		}
+		for k, v := range bench.LatencyMetrics(ser.latencies) {
+			metrics["serial_"+k] = v
+		}
+		rep := &bench.Report{
+			Name: name,
+			Kind: "loadgen",
+			Config: map[string]any{
+				"workload":    cfg.workload,
+				"concurrency": cfg.concurrency,
+				"conns":       cfg.conns,
+				"duration":    cfg.duration.String(),
+				"workers":     workers,
+				"max_batch":   maxBatch,
+				"seed":        cfg.seed,
+			},
+			Metrics: metrics,
+		}
+		for _, res := range []*genResult{ser, bat} {
+			if len(res.violations) > 0 {
+				rep.Notes = append(rep.Notes, res.violations...)
+			}
+		}
+		if len(rep.Notes) == 0 {
+			rep.Notes = []string{"invariants ok in both modes"}
+		}
+		path, err := rep.WriteFile(jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", path)
+	}
+	if len(ser.violations) > 0 || len(bat.violations) > 0 || ser.errs > 0 || bat.errs > 0 {
+		return fmt.Errorf("invariant violations or request errors (see above)")
+	}
+	return nil
+}

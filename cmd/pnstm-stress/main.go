@@ -35,6 +35,25 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate up front with actionable messages instead of surfacing
+	// whatever pnstm.New or an index computation would fail with later.
+	if *workers < 1 || *workers > 32 {
+		fmt.Fprintf(os.Stderr, "pnstm-stress: -workers must be in 1..32 (the runtime's 2P-bit identifier space caps P at 32), got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *accounts <= 0 {
+		fmt.Fprintf(os.Stderr, "pnstm-stress: -accounts must be positive, got %d\n", *accounts)
+		os.Exit(2)
+	}
+	if *groups <= 0 {
+		fmt.Fprintf(os.Stderr, "pnstm-stress: -groups must be positive, got %d\n", *groups)
+		os.Exit(2)
+	}
+	if *duration <= 0 {
+		fmt.Fprintf(os.Stderr, "pnstm-stress: -duration must be positive, got %v\n", *duration)
+		os.Exit(2)
+	}
+
 	rt, err := pnstm.New(pnstm.Config{Workers: *workers, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnstm-stress: %v\n", err)

@@ -1,0 +1,100 @@
+// Command pnstmd serves named transactional structures (maps, queues,
+// counters) over TCP with group-commit batching: concurrent in-flight
+// requests coalesce into one root transaction per batch, each request
+// running as a parallel nested child via Ctx.Parallel — the paper's
+// fork/join mechanism as a network server.
+//
+// Usage:
+//
+//	pnstmd                                  # listen on :7455, batch up to 64
+//	pnstmd -addr :9000 -workers 16 -batch 128 -batchdelay 200us
+//	pnstmd -batch 1 -serial                 # the no-batching serial baseline
+//
+// SIGINT/SIGTERM shut down gracefully and print the final stats. Drive
+// it with cmd/pnstm-loadgen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pnstm/server"
+	"pnstm/stmlib"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7455", "TCP listen address")
+		workers    = flag.Int("workers", 8, "runtime worker slots P (1..32)")
+		batch      = flag.Int("batch", 64, "max requests per group commit (1 disables grouping)")
+		batchdelay = flag.Duration("batchdelay", 0, "how long a batch waits for stragglers (0: only coalesce what is already in flight)")
+		serial     = flag.Bool("serial", false, "serial-nesting baseline runtime (children run sequentially)")
+		sharedr    = flag.Bool("sharedreads", true, "shared-read conflict model (§9): batch siblings reading the same bucket do not conflict")
+		inflight   = flag.Int("inflight", 1, "concurrent group commits (1: classic group commit; >1 pipelines batches — read-dominant workloads only, overlapping writers can livelock)")
+		buckets    = flag.Int("buckets", 64, "buckets per named map")
+		stripes    = flag.Int("stripes", 8, "stripes per named counter")
+	)
+	flag.Parse()
+
+	if *workers < 1 || *workers > 32 {
+		fmt.Fprintf(os.Stderr, "pnstmd: -workers must be in 1..32, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *batch < 1 {
+		fmt.Fprintf(os.Stderr, "pnstmd: -batch must be positive, got %d\n", *batch)
+		os.Exit(2)
+	}
+
+	s, err := server.New(server.Config{
+		Addr:        *addr,
+		Workers:     *workers,
+		MaxBatch:    *batch,
+		BatchDelay:  *batchdelay,
+		Serial:      *serial,
+		SharedReads: *sharedr,
+		MaxInflight: *inflight,
+		Registry:    stmlib.RegistryConfig{MapBuckets: *buckets, CounterStripes: *stripes},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnstmd: %v\n", err)
+		os.Exit(1)
+	}
+	if err := s.Listen(); err != nil {
+		fmt.Fprintf(os.Stderr, "pnstmd: %v\n", err)
+		os.Exit(1)
+	}
+	mode := "parallel"
+	if *serial {
+		mode = "serial"
+	}
+	fmt.Printf("pnstmd listening on %s (workers=%d batch=%d delay=%v runtime=%s)\n",
+		s.Addr(), *workers, *batch, *batchdelay, mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve() }()
+
+	select {
+	case <-sig:
+		fmt.Println("pnstmd: shutting down")
+	case err := <-serveDone:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnstmd: serve: %v\n", err)
+			s.Close()
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	s.Close()
+	st := s.Stats()
+	fmt.Printf("pnstmd: drained in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("batches: %d  requests: %d  mean-batch: %.2f  largest: %d\n",
+		st.Batches, st.Requests, st.MeanBatch, st.LargestBatch)
+	fmt.Printf("runtime: begun=%d committed=%d aborted=%d (abort ratio %.4f) escalations=%d\n",
+		st.Runtime.Begun, st.Runtime.Committed, st.Runtime.Aborted, st.RuntimeAborts, st.Runtime.Escalations)
+}

@@ -137,8 +137,8 @@ func main() {
 	// one step; no concurrent reader could see the restock half-applied.
 	if err := rt.Run(func(c *pnstm.Ctx) {
 		if err := c.Atomic(func(c *pnstm.Ctx) error {
-			snap := stock.Snapshot(c)              // parallel bucket-group reads
-			cents := revenue.Sum(c)                // parallel stripe reads
+			snap := stock.Snapshot(c) // parallel bucket-group reads
+			cents := revenue.Sum(c)   // parallel stripe reads
 			stock.BulkUpdate(c, skus, func(sku string, have int, ok bool) (int, bool) {
 				if have < 10 {
 					return 10, true // top every SKU back up

@@ -32,6 +32,42 @@ type Stats struct {
 	HelpPublishes uint64 // synchronous publication cycles run by starved accessors (D7)
 }
 
+// Sub returns the counter-by-counter difference s − prev. Both snapshots
+// must come from the same runtime, prev taken first; the result is the
+// activity between the two (e.g. one server batch). PeakParents is a
+// high-water mark, not a counter, so the later snapshot's value is kept.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Begun:          s.Begun - prev.Begun,
+		Committed:      s.Committed - prev.Committed,
+		Aborted:        s.Aborted - prev.Aborted,
+		UserAbort:      s.UserAbort - prev.UserAbort,
+		Conflicts:      s.Conflicts - prev.Conflicts,
+		SpinSaves:      s.SpinSaves - prev.SpinSaves,
+		Escalations:    s.Escalations - prev.Escalations,
+		Dispatches:     s.Dispatches - prev.Dispatches,
+		BorrowDispatch: s.BorrowDispatch - prev.BorrowDispatch,
+		InlineChildren: s.InlineChildren - prev.InlineChildren,
+		SerializedFork: s.SerializedFork - prev.SerializedFork,
+		Handoffs:       s.Handoffs - prev.Handoffs,
+		SlotYields:     s.SlotYields - prev.SlotYields,
+		SelfDiscards:   s.SelfDiscards - prev.SelfDiscards,
+		RemoteDiscards: s.RemoteDiscards - prev.RemoteDiscards,
+		BorrowSwitches: s.BorrowSwitches - prev.BorrowSwitches,
+		PeakParents:    s.PeakParents,
+		HelpPublishes:  s.HelpPublishes - prev.HelpPublishes,
+	}
+}
+
+// AbortRate returns the fraction of started transactions that aborted on
+// a conflict (retries count as fresh starts). Zero when nothing ran.
+func (s Stats) AbortRate() float64 {
+	if s.Begun == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(s.Begun)
+}
+
 // counters is the live, atomically updated form of Stats.
 type counters struct {
 	begun, committed, aborted, userAbort, conflicts, spinSaves       atomic.Uint64

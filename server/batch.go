@@ -1,0 +1,364 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pnstm"
+	"pnstm/stmlib"
+)
+
+// The batching engine is where the paper's mechanism meets the network:
+// concurrent in-flight requests are coalesced into a group commit. Each
+// batch executes as ONE Runtime.Run root transaction whose body runs one
+// nested child transaction per request, forked over parallel blocks via
+// Ctx.Parallel — the shape of the paper's Figure 1 and of
+// examples/inventory's order batches. The children conflict-check
+// against each other with the one-word ancestor test, a request whose
+// precondition fails (checkout without stock) rolls back alone as a
+// nested abort, and the batch commits as a unit.
+//
+// Group commit amortizes the root begin/commit and the fork/join over
+// the whole batch, and the nested children recruit every worker slot —
+// so a server under concurrent load runs the paper's benchmark shape
+// continuously. MaxBatch 1 degenerates into serial one-request
+// transactions, which is the baseline the load generator compares
+// against.
+
+// pending is one request waiting for its batch, plus the route back to
+// its connection.
+type pending struct {
+	req     *Request
+	resp    Response
+	deliver func(Response)
+}
+
+// errRejected aborts a request's nested transaction without failing the
+// batch (checkout precondition).
+var errRejected = errors.New("server: rejected")
+
+// minRequestsPerBlock is the batch size below which forking another
+// parallel block is not worth a worker wakeup.
+const minRequestsPerBlock = 8
+
+// batcher coalesces submitted requests into group commits.
+type batcher struct {
+	rt       *pnstm.Runtime
+	reg      *stmlib.Registry
+	in       chan *pending
+	maxBatch int
+	fanout   int // parallel blocks per batch (~worker count)
+	delay    time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	// inflight bounds concurrent group commits; see Config.MaxInflight
+	// for why the default is 1 (overlapping write-heavy batches can
+	// livelock) and when pipelining is worth turning on.
+	inflight chan struct{}
+	execWG   sync.WaitGroup
+
+	mu       sync.Mutex
+	batches  uint64
+	requests uint64
+	sizeSum  uint64 // sum of batch sizes (mean = sizeSum / batches)
+	largest  int
+}
+
+func newBatcher(rt *pnstm.Runtime, reg *stmlib.Registry, maxBatch, fanout, inflight int, delay time.Duration) *batcher {
+	if fanout < 1 {
+		fanout = 1
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	b := &batcher{
+		rt:       rt,
+		reg:      reg,
+		in:       make(chan *pending, 4*maxBatch),
+		maxBatch: maxBatch,
+		fanout:   fanout,
+		inflight: make(chan struct{}, inflight),
+		delay:    delay,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit hands a request to the batcher; returns false when the batcher
+// is shutting down (callers answer StatusErr themselves).
+func (b *batcher) submit(p *pending) bool {
+	select {
+	case b.in <- p:
+		return true
+	case <-b.stop:
+		return false
+	}
+}
+
+// close stops the loop and fails whatever was still queued.
+func (b *batcher) close() {
+	close(b.stop)
+	<-b.done
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		select {
+		case p := <-b.in:
+			batch := b.collect(p)
+			b.inflight <- struct{}{} // cap concurrent group commits
+			b.execWG.Add(1)
+			go func() {
+				defer b.execWG.Done()
+				defer func() { <-b.inflight }()
+				b.execute(batch)
+			}()
+		case <-b.stop:
+			b.execWG.Wait() // in-flight batches deliver before the drain
+			// Drain: connections stop submitting once stop is closed, so
+			// this empties in one pass.
+			for {
+				select {
+				case p := <-b.in:
+					p.deliver(Response{ID: p.req.ID, Status: StatusErr, Msg: "server closing"})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect gathers a batch around the first request: everything already
+// queued, then — if there is still room — whatever arrives within the
+// batching window. A zero window means "only what is already in flight",
+// which keeps unloaded latency at the floor while still group-committing
+// under concurrency.
+func (b *batcher) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	for len(batch) < b.maxBatch {
+		select {
+		case p := <-b.in:
+			batch = append(batch, p)
+			continue
+		default:
+		}
+		break
+	}
+	if b.delay <= 0 || len(batch) >= b.maxBatch {
+		return batch
+	}
+	timer := time.NewTimer(b.delay)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case p := <-b.in:
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		case <-b.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// execute runs one batch as a single root transaction: every request is
+// one nested child transaction of the batch transaction, and the
+// children are spread over at most fanout parallel blocks — the same
+// bucket-group shape stmlib's bulk operations use. With fanout ≈ worker
+// count the per-block dispatch cost is amortized over batch/fanout
+// requests, which is what lets group commit beat batch-size-1 execution
+// even when each request is a single point operation; requests in
+// different groups still conflict-check and run fully in parallel, and a
+// request aborts alone (its own nested transaction) whichever group it
+// rides in.
+func (b *batcher) execute(batch []*pending) {
+	err := b.rt.Run(func(c *pnstm.Ctx) {
+		_ = c.Atomic(func(c *pnstm.Ctx) error {
+			// A block dispatch costs roughly a worker wakeup, so forking
+			// pays only when a block carries several point requests; small
+			// batches fork fewer blocks (pipelined batches keep the other
+			// workers fed) and a lone request runs inline.
+			groups := len(batch) / minRequestsPerBlock
+			if groups > b.fanout {
+				groups = b.fanout
+			}
+			if groups > len(batch) {
+				groups = len(batch)
+			}
+			if groups < 1 {
+				groups = 1
+			}
+			if groups <= 1 {
+				// Small batch (or fanout 1): inline children, no fork —
+				// with MaxBatch 1 this is the batch-size-1 baseline shape.
+				for _, p := range batch {
+					p.resp = applyRequest(c, b.reg, p.req)
+				}
+				return nil
+			}
+			fns := make([]func(*pnstm.Ctx), groups)
+			for g := 0; g < groups; g++ {
+				lo, hi := g*len(batch)/groups, (g+1)*len(batch)/groups
+				slice := batch[lo:hi]
+				fns[g] = func(c *pnstm.Ctx) {
+					for _, p := range slice {
+						p.resp = applyRequest(c, b.reg, p.req)
+					}
+				}
+			}
+			c.Parallel(fns...)
+			return nil
+		})
+	})
+
+	b.mu.Lock()
+	b.batches++
+	b.requests += uint64(len(batch))
+	b.sizeSum += uint64(len(batch))
+	if len(batch) > b.largest {
+		b.largest = len(batch)
+	}
+	b.mu.Unlock()
+
+	for _, p := range batch {
+		resp := p.resp
+		resp.ID = p.req.ID
+		if err != nil {
+			resp = Response{ID: p.req.ID, Status: StatusErr, Msg: "server closing"}
+		} else if resp.Status == 0 {
+			resp = Response{ID: p.req.ID, Status: StatusErr, Msg: "internal: request not executed"}
+		}
+		p.deliver(resp)
+	}
+}
+
+// applyRequest executes one request as its own nested transaction inside
+// the batch transaction and renders the response. The request's writes
+// are isolated in its child: a rejected checkout rolls back alone while
+// its batch siblings commit.
+func applyRequest(c *pnstm.Ctx, reg *stmlib.Registry, req *Request) Response {
+	resp := Response{ID: req.ID, Status: StatusOK}
+	var err error
+	switch req.Op {
+	case OpPing:
+		// Normally answered by the connection directly; harmless here.
+	case OpMapGet:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			resp.Value, resp.Found = reg.Map(req.Name).Get(c, req.Key)
+			return nil
+		})
+	case OpMapPut:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			reg.Map(req.Name).Put(c, req.Key, req.Value)
+			return nil
+		})
+	case OpMapDelete:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			resp.Found = reg.Map(req.Name).Delete(c, req.Key)
+			return nil
+		})
+	case OpMapLen:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			resp.Num = int64(reg.Map(req.Name).Len(c))
+			return nil
+		})
+	case OpQueuePush:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			reg.Queue(req.Name).Push(c, req.Value)
+			return nil
+		})
+	case OpQueuePop:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			resp.Value, resp.Found = reg.Queue(req.Name).Pop(c)
+			return nil
+		})
+	case OpQueueLen:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			resp.Num = int64(reg.Queue(req.Name).Len(c))
+			return nil
+		})
+	case OpCounterAdd:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			reg.Counter(req.Name).Add(c, req.Delta)
+			return nil
+		})
+	case OpCounterSum:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			resp.Num = reg.Counter(req.Name).Sum(c)
+			return nil
+		})
+	case OpCheckout:
+		err = applyCheckout(c, reg, req, &resp)
+	default:
+		return Response{ID: req.ID, Status: StatusErr, Msg: "unbatchable or unknown opcode"}
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, errRejected):
+		resp = Response{ID: req.ID, Status: StatusRejected, Msg: resp.Msg}
+	default:
+		resp = Response{ID: req.ID, Status: StatusErr, Msg: err.Error()}
+	}
+	return resp
+}
+
+// applyCheckout is the cross-structure order transaction (see Checkout).
+func applyCheckout(c *pnstm.Ctx, reg *stmlib.Registry, req *Request, resp *Response) error {
+	co := req.Checkout
+	if co == nil {
+		co = &Checkout{}
+	}
+	return c.Atomic(func(c *pnstm.Ctx) error {
+		stock := reg.Map(req.Name)
+		var units int64
+		for _, ln := range co.Lines {
+			if ln.Qty <= 0 {
+				// A non-positive quantity would mint stock (have − qty grows)
+				// and credit negative units; it is a malformed request.
+				return fmt.Errorf("checkout line %q: quantity %d must be positive", ln.SKU, ln.Qty)
+			}
+			raw, ok := stock.Get(c, ln.SKU)
+			var have int64
+			if ok {
+				v, err := DecodeInt64(raw)
+				if err != nil {
+					return err
+				}
+				have = v
+			}
+			if have < ln.Qty {
+				resp.Msg = ln.SKU
+				return errRejected // rolls back every line of this checkout
+			}
+			stock.Put(c, ln.SKU, EncodeInt64(have-ln.Qty))
+			units += ln.Qty
+		}
+		if co.Sold != "" {
+			reg.Counter(co.Sold).Add(c, units)
+		}
+		if co.Revenue != "" {
+			reg.Counter(co.Revenue).Add(c, co.Cents)
+		}
+		resp.Num = units
+		return nil
+	})
+}
+
+// batchStats is the batcher's contribution to ServerStats.
+func (b *batcher) stats() (batches, requests uint64, mean float64, largest int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	mean = 0
+	if b.batches > 0 {
+		mean = float64(b.sizeSum) / float64(b.batches)
+	}
+	return b.batches, b.requests, mean, b.largest
+}

@@ -1,0 +1,377 @@
+// Package server implements pnstmd: a networked transactional store
+// exposing named stmlib structures (maps, queues, counters) over a
+// length-prefixed binary protocol, with a group-commit batching engine
+// that coalesces concurrent in-flight requests into one root transaction
+// per batch — each request runs as a parallel nested child of the batch
+// transaction via Ctx.Parallel, so server throughput directly exercises
+// the paper's parallel-nesting mechanism (batch = root transaction,
+// request = nested child).
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format, all integers big-endian. A frame is a uint32 payload
+// length followed by the payload:
+//
+//	request:  u64 id | u8 op | u16+name | u16+key | u32+value | i64 delta
+//	          [op == OpCheckout: u16 nlines, nlines × (u16+sku, i64 qty),
+//	           u16+sold, u16+revenue, i64 cents]
+//	response: u64 id | u8 status | u8 found | i64 num | u32+value | u16+msg
+//
+// u16+s / u32+b denote a length-prefixed string / byte slice. Responses
+// share one body layout across ops: Found answers map-get / map-delete /
+// queue-pop, Num carries lengths and sums, Value carries get/pop payloads
+// and the OpStats JSON blob, Msg carries the error text for StatusErr.
+
+// MaxFrame bounds a single frame's payload; larger frames are rejected
+// as malformed (protects both sides from a corrupt length prefix).
+const MaxFrame = 16 << 20
+
+// Request opcodes.
+const (
+	OpPing uint8 = iota + 1
+	OpMapGet
+	OpMapPut
+	OpMapDelete
+	OpMapLen
+	OpQueuePush
+	OpQueuePop
+	OpQueueLen
+	OpCounterAdd
+	OpCounterSum
+	OpCheckout
+	OpStats
+)
+
+// Response statuses.
+const (
+	// StatusOK: the operation committed (for map get / queue pop, check
+	// Found for whether the key/element existed).
+	StatusOK uint8 = iota + 1
+	// StatusRejected: the operation's own precondition failed (checkout
+	// with insufficient stock) and its transaction was rolled back; the
+	// rest of the batch is unaffected.
+	StatusRejected
+	// StatusErr: the request was malformed or the server is shutting
+	// down; Msg carries the reason.
+	StatusErr
+)
+
+// CheckoutLine is one (SKU, quantity) order line.
+type CheckoutLine struct {
+	SKU string
+	Qty int64
+}
+
+// Checkout is the cross-structure order operation, mirroring
+// examples/inventory: atomically decrement every line's stock in the
+// request's map (values are EncodeInt64 counts), then credit the Sold
+// counter with the total units and the Revenue counter with Cents. If
+// any line has insufficient stock the whole checkout — all decrements
+// included — is rolled back and the response is StatusRejected.
+type Checkout struct {
+	Sold    string // units counter name ("" to skip)
+	Revenue string // revenue counter name ("" to skip)
+	Cents   int64
+	Lines   []CheckoutLine
+}
+
+// Request is one decoded client operation. Name addresses the structure;
+// Key/Value/Delta are op-specific; Checkout is non-nil only for
+// OpCheckout (whose stock map is Name).
+type Request struct {
+	ID       uint64
+	Op       uint8
+	Name     string
+	Key      string
+	Value    []byte
+	Delta    int64
+	Checkout *Checkout
+}
+
+// Response is one decoded server reply; see the body-layout comment
+// above for which fields each op uses.
+type Response struct {
+	ID     uint64
+	Status uint8
+	Found  bool
+	Num    int64
+	Value  []byte
+	Msg    string
+}
+
+// EncodeInt64 renders v as the 8-byte big-endian map value the integer
+// helpers (and OpCheckout) use.
+func EncodeInt64(v int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// DecodeInt64 parses an EncodeInt64 value.
+func DecodeInt64(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("server: int64 value has %d bytes, want 8", len(b))
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+func appendU16Str(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendU32Bytes(buf []byte, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func appendI64(buf []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(buf, uint64(v))
+}
+
+// checkRequestLimits rejects values that would not survive their wire
+// length prefix (u16 strings, u16 line count, the frame bound itself) —
+// encoding them anyway would silently truncate the prefix and corrupt
+// the stream.
+func checkRequestLimits(req *Request) error {
+	const maxStr = 1<<16 - 1
+	if len(req.Name) > maxStr || len(req.Key) > maxStr {
+		return fmt.Errorf("server: name/key longer than %d bytes", maxStr)
+	}
+	if len(req.Value) > MaxFrame/2 {
+		return fmt.Errorf("server: value of %d bytes exceeds limit %d", len(req.Value), MaxFrame/2)
+	}
+	if co := req.Checkout; co != nil {
+		if len(co.Lines) > maxStr {
+			return fmt.Errorf("server: checkout with %d lines exceeds limit %d", len(co.Lines), maxStr)
+		}
+		if len(co.Sold) > maxStr || len(co.Revenue) > maxStr {
+			return fmt.Errorf("server: counter name longer than %d bytes", maxStr)
+		}
+		for _, ln := range co.Lines {
+			if len(ln.SKU) > maxStr {
+				return fmt.Errorf("server: SKU longer than %d bytes", maxStr)
+			}
+		}
+	}
+	return nil
+}
+
+// AppendRequest appends req as a complete frame (length prefix
+// included), rejecting requests whose fields cannot be represented on
+// the wire.
+func AppendRequest(buf []byte, req *Request) ([]byte, error) {
+	if err := checkRequestLimits(req); err != nil {
+		return buf, err
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // frame length, patched below
+	buf = binary.BigEndian.AppendUint64(buf, req.ID)
+	buf = append(buf, req.Op)
+	buf = appendU16Str(buf, req.Name)
+	buf = appendU16Str(buf, req.Key)
+	buf = appendU32Bytes(buf, req.Value)
+	buf = appendI64(buf, req.Delta)
+	if req.Op == OpCheckout {
+		co := req.Checkout
+		if co == nil {
+			co = &Checkout{}
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(co.Lines)))
+		for _, ln := range co.Lines {
+			buf = appendU16Str(buf, ln.SKU)
+			buf = appendI64(buf, ln.Qty)
+		}
+		buf = appendU16Str(buf, co.Sold)
+		buf = appendU16Str(buf, co.Revenue)
+		buf = appendI64(buf, co.Cents)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf, nil
+}
+
+// AppendResponse appends resp as a complete frame (length prefix
+// included). An over-long Msg (server-generated error text) is clamped
+// to its u16 prefix rather than corrupting the frame.
+func AppendResponse(buf []byte, resp *Response) []byte {
+	if len(resp.Msg) > 1<<16-1 {
+		clamped := *resp
+		clamped.Msg = resp.Msg[:1<<16-1]
+		resp = &clamped
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.BigEndian.AppendUint64(buf, resp.ID)
+	buf = append(buf, resp.Status)
+	if resp.Found {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendI64(buf, resp.Num)
+	buf = appendU32Bytes(buf, resp.Value)
+	buf = appendU16Str(buf, resp.Msg)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+// ReadFrame reads one frame's payload from r.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// cursor is a bounds-checked reader over one frame payload.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = fmt.Errorf("server: truncated frame at offset %d", c.off)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil || c.off+n > len(c.b) {
+		c.fail()
+		return nil
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (c *cursor) i64() int64 { return int64(c.u64()) }
+
+func (c *cursor) str16() string { return string(c.take(int(c.u16()))) }
+
+func (c *cursor) bytes32() []byte {
+	b := c.take(4)
+	if b == nil {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n == 0 {
+		return nil
+	}
+	raw := c.take(int(n))
+	if raw == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, raw)
+	return out
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("server: %d trailing bytes in frame", len(c.b)-c.off)
+	}
+	return nil
+}
+
+// ParseRequest decodes one request frame payload.
+func ParseRequest(frame []byte) (*Request, error) {
+	c := &cursor{b: frame}
+	req := &Request{
+		ID: c.u64(),
+		Op: c.u8(),
+	}
+	req.Name = c.str16()
+	req.Key = c.str16()
+	req.Value = c.bytes32()
+	req.Delta = c.i64()
+	if req.Op == OpCheckout {
+		co := &Checkout{}
+		n := int(c.u16())
+		for i := 0; i < n && c.err == nil; i++ {
+			co.Lines = append(co.Lines, CheckoutLine{SKU: c.str16(), Qty: c.i64()})
+		}
+		co.Sold = c.str16()
+		co.Revenue = c.str16()
+		co.Cents = c.i64()
+		req.Checkout = co
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	if req.Op == 0 || req.Op > OpStats {
+		return nil, fmt.Errorf("server: unknown opcode %d", req.Op)
+	}
+	return req, nil
+}
+
+// ParseResponse decodes one response frame payload.
+func ParseResponse(frame []byte) (*Response, error) {
+	c := &cursor{b: frame}
+	resp := &Response{
+		ID:     c.u64(),
+		Status: c.u8(),
+		Found:  c.u8() == 1,
+		Num:    c.i64(),
+		Value:  c.bytes32(),
+		Msg:    c.str16(),
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	if resp.Status == 0 || resp.Status > StatusErr {
+		return nil, fmt.Errorf("server: unknown status %d", resp.Status)
+	}
+	return resp, nil
+}

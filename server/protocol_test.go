@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTripRequest(t *testing.T, req *Request) *Request {
+	t.Helper()
+	frame, err := AppendRequest(nil, req)
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	back, err := ParseRequest(payload)
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	return back
+}
+
+func TestRequestRoundTripEveryOp(t *testing.T) {
+	reqs := []*Request{
+		{ID: 1, Op: OpPing},
+		{ID: 2, Op: OpMapGet, Name: "m", Key: "k"},
+		{ID: 3, Op: OpMapPut, Name: "m", Key: "k", Value: []byte("v")},
+		{ID: 4, Op: OpMapDelete, Name: "m", Key: "k"},
+		{ID: 5, Op: OpMapLen, Name: "m"},
+		{ID: 6, Op: OpQueuePush, Name: "q", Value: []byte{0, 1, 2}},
+		{ID: 7, Op: OpQueuePop, Name: "q"},
+		{ID: 8, Op: OpQueueLen, Name: "q"},
+		{ID: 9, Op: OpCounterAdd, Name: "c", Delta: -42},
+		{ID: 10, Op: OpCounterSum, Name: "c"},
+		{ID: 11, Op: OpStats},
+		{ID: 12, Op: OpCheckout, Name: "stock", Checkout: &Checkout{
+			Sold:    "sold",
+			Revenue: "rev",
+			Cents:   1250,
+			Lines:   []CheckoutLine{{SKU: "anvil", Qty: 2}, {SKU: "cog", Qty: 1}},
+		}},
+	}
+	for _, req := range reqs {
+		back := roundTripRequest(t, req)
+		// Non-checkout requests decode with a nil Checkout; empty slices
+		// normalize to nil.
+		if !reflect.DeepEqual(req, back) {
+			t.Errorf("op %d: round trip mismatch:\n  sent %+v\n  got  %+v", req.Op, req, back)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{ID: 1, Status: StatusOK},
+		{ID: 2, Status: StatusOK, Found: true, Value: []byte("hello")},
+		{ID: 3, Status: StatusOK, Num: -7},
+		{ID: 4, Status: StatusRejected, Msg: "anvil"},
+		{ID: 5, Status: StatusErr, Msg: "boom"},
+	}
+	for _, resp := range resps {
+		frame := AppendResponse(nil, resp)
+		payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		back, err := ParseResponse(payload)
+		if err != nil {
+			t.Fatalf("ParseResponse: %v", err)
+		}
+		if !reflect.DeepEqual(resp, back) {
+			t.Errorf("round trip mismatch:\n  sent %+v\n  got  %+v", resp, back)
+		}
+	}
+}
+
+func TestParseRejectsMalformedFrames(t *testing.T) {
+	good, err := AppendRequest(nil, &Request{ID: 9, Op: OpMapPut, Name: "m", Key: "k", Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := good[4:]
+
+	if _, err := ParseRequest(payload[:len(payload)-3]); err == nil {
+		t.Error("truncated request accepted")
+	}
+	if _, err := ParseRequest(append(append([]byte{}, payload...), 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte{}, payload...)
+	bad[8] = 200 // opcode byte
+	if _, err := ParseRequest(bad); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+	if _, err := ParseResponse([]byte{1, 2, 3}); err == nil {
+		t.Error("short response accepted")
+	}
+}
+
+func TestAppendRequestRejectsOversizeFields(t *testing.T) {
+	long := strings.Repeat("k", 1<<16)
+	cases := []*Request{
+		{Op: OpMapGet, Name: "m", Key: long},
+		{Op: OpMapGet, Name: long},
+		{Op: OpMapPut, Name: "m", Key: "k", Value: make([]byte, MaxFrame/2+1)},
+		{Op: OpCheckout, Name: "stock", Checkout: &Checkout{Lines: []CheckoutLine{{SKU: long, Qty: 1}}}},
+		{Op: OpCheckout, Name: "stock", Checkout: &Checkout{Sold: long}},
+	}
+	for i, req := range cases {
+		if _, err := AppendRequest(nil, req); err == nil {
+			t.Errorf("case %d: oversize field accepted", i)
+		}
+	}
+}
+
+func TestAppendResponseClampsOversizeMsg(t *testing.T) {
+	resp := &Response{ID: 1, Status: StatusErr, Msg: strings.Repeat("e", 1<<16+10)}
+	frame := AppendResponse(nil, resp)
+	payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Msg) != 1<<16-1 {
+		t.Errorf("msg came back with %d bytes", len(back.Msg))
+	}
+	if resp.Msg[:10] != back.Msg[:10] {
+		t.Error("clamped msg lost its prefix")
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr[:]))); err == nil {
+		t.Error("oversize frame accepted")
+	}
+}
+
+func TestInt64Encoding(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		got, err := DecodeInt64(EncodeInt64(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %d → %d, %v", v, got, err)
+		}
+	}
+	if _, err := DecodeInt64([]byte{1, 2}); err == nil {
+		t.Error("short int64 accepted")
+	}
+}
+
+func TestStreamOfFrames(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 5; i++ {
+		var err error
+		stream, err = AppendRequest(stream, &Request{ID: uint64(i), Op: OpPing})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i := 0; i < 5; i++ {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		req, err := ParseRequest(payload)
+		if err != nil || req.ID != uint64(i) {
+			t.Fatalf("frame %d: %+v, %v", i, req, err)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnstm"
+	"pnstm/stmlib"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address (":7455" by default).
+	Addr string
+
+	// Workers is the runtime's worker-slot count P (default 8, max 32).
+	Workers int
+
+	// MaxBatch bounds the number of requests coalesced into one group
+	// commit (default 64). 1 disables grouping: every request is its own
+	// root transaction — the baseline the load generator compares
+	// against.
+	MaxBatch int
+
+	// BatchDelay is how long the batcher waits for stragglers after the
+	// first request of a batch (default 0: group only what is already in
+	// flight, keeping unloaded latency at the floor).
+	BatchDelay time.Duration
+
+	// BatchFanout bounds the parallel blocks one batch forks; requests
+	// are spread over the blocks, each running as its own nested child
+	// transaction (default: Workers).
+	BatchFanout int
+
+	// MaxInflight bounds concurrent group commits. The default 1 is the
+	// classic group commit: one batch transaction at a time, so requests
+	// only ever conflict with their own batch siblings, where the
+	// runtime's nesting-aware contention management (escalation)
+	// resolves them. Raising it pipelines batches — the next batch
+	// launches while the previous still runs, keeping the worker slots
+	// fed — which pays off for read-dominant traffic under SharedReads
+	// (concurrent readers never conflict) but can livelock overlapping
+	// write-heavy batches: concurrent roots that persistently write the
+	// same keys abort each other indefinitely. Forced to 1 with Serial,
+	// whose runtime forbids concurrent Run.
+	MaxInflight int
+
+	// Serial runs the runtime in the serial-nesting baseline mode: the
+	// batch's children execute sequentially in one context. For
+	// benchmarking the paper's comparison end to end.
+	Serial bool
+
+	// SharedReads enables the runtime's shared-read conflict model
+	// (paper §9): concurrent readers in one batch never conflict with
+	// each other. Strongly recommended for read-heavy serving — in the
+	// default write-only model two requests merely reading the same map
+	// bucket conflict and serialize on publication latency.
+	SharedReads bool
+
+	// Registry sizes the named structures (zero = stmlib defaults).
+	Registry stmlib.RegistryConfig
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":7455"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchFanout <= 0 {
+		c.BatchFanout = c.Workers
+	}
+	if c.MaxInflight <= 0 || c.Serial {
+		c.MaxInflight = 1
+	}
+}
+
+// ServerStats is the OpStats payload: batching behaviour plus the
+// runtime's cumulative counters.
+type ServerStats struct {
+	Workers       uint64      `json:"workers"`
+	MaxBatch      uint64      `json:"max_batch"`
+	Serial        bool        `json:"serial"`
+	Conns         uint64      `json:"conns"`
+	Batches       uint64      `json:"batches"`
+	Requests      uint64      `json:"requests"`
+	MeanBatch     float64     `json:"mean_batch"`
+	LargestBatch  uint64      `json:"largest_batch"`
+	Runtime       pnstm.Stats `json:"runtime"`
+	RuntimeAborts float64     `json:"runtime_abort_ratio"`
+}
+
+// Server owns the listener, the runtime, the structure registry and the
+// batching engine. Create with New, start with Serve or ListenAndServe,
+// stop with Close.
+type Server struct {
+	cfg Config
+	rt  *pnstm.Runtime
+	reg *stmlib.Registry
+	b   *batcher
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New creates a server (runtime, registry, batcher) without touching the
+// network yet.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	rt, err := pnstm.New(pnstm.Config{Workers: cfg.Workers, Serial: cfg.Serial, SharedReads: cfg.SharedReads})
+	if err != nil {
+		return nil, err
+	}
+	reg := stmlib.NewRegistry(cfg.Registry)
+	return &Server{
+		cfg:   cfg,
+		rt:    rt,
+		reg:   reg,
+		b:     newBatcher(rt, reg, cfg.MaxBatch, cfg.BatchFanout, cfg.MaxInflight, cfg.BatchDelay),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Runtime exposes the underlying runtime (in-process embedding, tests).
+func (s *Server) Runtime() *pnstm.Runtime { return s.rt }
+
+// Registry exposes the structure catalog (in-process embedding, tests).
+func (s *Server) Registry() *stmlib.Registry { return s.reg }
+
+// Listen binds the configured address. Addr() is valid afterwards, which
+// is how tests bind ":0" and discover the port before Serve.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Close. Listen must have succeeded.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting, tears down connections, stops the batcher and
+// closes the runtime. Idempotent.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.b.close()
+	s.rt.Close()
+}
+
+// Stats snapshots the server's activity.
+func (s *Server) Stats() ServerStats {
+	batches, requests, mean, largest := s.b.stats()
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	rts := s.rt.Stats()
+	return ServerStats{
+		Workers:       uint64(s.cfg.Workers),
+		MaxBatch:      uint64(s.cfg.MaxBatch),
+		Serial:        s.cfg.Serial,
+		Conns:         uint64(conns),
+		Batches:       batches,
+		Requests:      requests,
+		MeanBatch:     mean,
+		LargestBatch:  uint64(largest),
+		Runtime:       rts,
+		RuntimeAborts: rts.AbortRate(),
+	}
+}
+
+// handleConn runs one connection: a reader loop decoding frames and
+// submitting them to the batcher, and a writer goroutine serializing
+// responses (responses may complete out of order across batches; clients
+// match by request id).
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+
+	out := make(chan Response, 256)
+	connClosed := make(chan struct{}) // reader gone: stop routing responses here
+	writerDone := make(chan struct{}) // writer gone: never block the batcher on a dead conn
+	defer func() {
+		close(connClosed)
+		<-writerDone
+	}()
+
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriter(nc)
+		var buf []byte
+		for {
+			select {
+			case resp := <-out:
+				buf = AppendResponse(buf[:0], &resp)
+				if _, err := bw.Write(buf); err != nil {
+					return
+				}
+				// Flush only when the queue runs dry: consecutive
+				// responses of one batch leave in one segment.
+				if len(out) == 0 {
+					if err := bw.Flush(); err != nil {
+						return
+					}
+				}
+			case <-connClosed:
+				return
+			}
+		}
+	}()
+
+	deliver := func(resp Response) {
+		select {
+		case out <- resp:
+		case <-connClosed:
+		case <-writerDone:
+		}
+	}
+
+	br := bufio.NewReader(nc)
+	for {
+		frame, err := ReadFrame(br)
+		if err != nil {
+			return // EOF, forced close, or an unrecoverable framing error
+		}
+		req, err := ParseRequest(frame)
+		if err != nil {
+			// The id is the payload's leading u64, so it usually survives
+			// a body parse failure — echo it back so the caller's pending
+			// round trip fails instead of hanging. After a malformed frame
+			// the stream offset is still trustworthy (framing is
+			// independent of payload), so carry on afterwards.
+			var id uint64
+			if len(frame) >= 8 {
+				id = binary.BigEndian.Uint64(frame[:8])
+			}
+			deliver(Response{ID: id, Status: StatusErr, Msg: err.Error()})
+			continue
+		}
+		switch req.Op {
+		case OpPing:
+			deliver(Response{ID: req.ID, Status: StatusOK})
+		case OpStats:
+			blob, err := json.Marshal(s.Stats())
+			if err != nil {
+				deliver(Response{ID: req.ID, Status: StatusErr, Msg: err.Error()})
+				continue
+			}
+			deliver(Response{ID: req.ID, Status: StatusOK, Value: blob})
+		default:
+			p := &pending{req: req, deliver: deliver}
+			if !s.b.submit(p) {
+				deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
+			}
+		}
+	}
+}

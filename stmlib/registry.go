@@ -1,0 +1,132 @@
+package stmlib
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a catalog of named transactional structures: string-keyed
+// maps (byte-slice values), byte-slice queues and striped counters. It is
+// the façade a server exposes over the wire — clients address structures
+// by (kind, name) and the registry materializes them on first use.
+//
+// Structure creation is NOT transactional (NewTMap and friends allocate
+// plain transactional variables), so the registry guards its name tables
+// with an ordinary mutex: get-or-create is safe from any goroutine,
+// including concurrently with transactions using already-created
+// structures. Lookups of existing names take only a read lock.
+//
+// The registry never deletes a structure; a name, once used, stays bound
+// to the same structure for the registry's lifetime. (Transactional
+// emptying — TMap.Clear, draining a queue, TCounter.Reset — is the
+// supported way to reclaim contents.)
+type Registry struct {
+	mu       sync.RWMutex
+	maps     map[string]*TMap[string, []byte]
+	queues   map[string]*TQueue[[]byte]
+	counters map[string]*TCounter
+
+	buckets int // per-map bucket count
+	stripes int // per-counter stripe count
+	fanout  int // bulk-operation fanout for maps and counters
+}
+
+// RegistryConfig sizes the structures a Registry creates. Zero fields
+// take defaults: 64 buckets, 8 stripes, DefaultFanout.
+type RegistryConfig struct {
+	MapBuckets     int
+	CounterStripes int
+	Fanout         int
+}
+
+// NewRegistry returns an empty catalog.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.MapBuckets <= 0 {
+		cfg.MapBuckets = 64
+	}
+	if cfg.CounterStripes <= 0 {
+		cfg.CounterStripes = 8
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = DefaultFanout
+	}
+	return &Registry{
+		maps:     make(map[string]*TMap[string, []byte]),
+		queues:   make(map[string]*TQueue[[]byte]),
+		counters: make(map[string]*TCounter),
+		buckets:  cfg.MapBuckets,
+		stripes:  cfg.CounterStripes,
+		fanout:   cfg.Fanout,
+	}
+}
+
+// Map returns the named map, creating it on first use.
+func (r *Registry) Map(name string) *TMap[string, []byte] {
+	r.mu.RLock()
+	m := r.maps[name]
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m = r.maps[name]; m == nil {
+		m = NewTMapFanout[string, []byte](r.buckets, r.fanout)
+		r.maps[name] = m
+	}
+	return m
+}
+
+// Queue returns the named queue, creating it on first use.
+func (r *Registry) Queue(name string) *TQueue[[]byte] {
+	r.mu.RLock()
+	q := r.queues[name]
+	r.mu.RUnlock()
+	if q != nil {
+		return q
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if q = r.queues[name]; q == nil {
+		q = NewTQueue[[]byte]()
+		r.queues[name] = q
+	}
+	return q
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *TCounter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = NewTCounterFanout(r.stripes, r.fanout)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Names returns the sorted names of every structure of each kind
+// (diagnostics).
+func (r *Registry) Names() (maps, queues, counters []string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for n := range r.maps {
+		maps = append(maps, n)
+	}
+	for n := range r.queues {
+		queues = append(queues, n)
+	}
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	sort.Strings(maps)
+	sort.Strings(queues)
+	sort.Strings(counters)
+	return maps, queues, counters
+}

@@ -1,0 +1,96 @@
+package stmlib_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pnstm"
+	"pnstm/stmlib"
+)
+
+func TestRegistryGetOrCreateStable(t *testing.T) {
+	r := stmlib.NewRegistry(stmlib.RegistryConfig{})
+	m1 := r.Map("a")
+	if m1 == nil || r.Map("a") != m1 {
+		t.Fatal("Map not stable across lookups")
+	}
+	if r.Map("b") == m1 {
+		t.Fatal("distinct names share a map")
+	}
+	q1 := r.Queue("a") // namespaces are per kind: "a" the queue != "a" the map
+	if q1 == nil || r.Queue("a") != q1 {
+		t.Fatal("Queue not stable across lookups")
+	}
+	c1 := r.Counter("a")
+	if c1 == nil || r.Counter("a") != c1 {
+		t.Fatal("Counter not stable across lookups")
+	}
+	maps, queues, counters := r.Names()
+	if len(maps) != 2 || maps[0] != "a" || maps[1] != "b" {
+		t.Fatalf("maps = %v", maps)
+	}
+	if len(queues) != 1 || len(counters) != 1 {
+		t.Fatalf("queues = %v counters = %v", queues, counters)
+	}
+}
+
+func TestRegistryConfigSizes(t *testing.T) {
+	r := stmlib.NewRegistry(stmlib.RegistryConfig{MapBuckets: 16, CounterStripes: 4})
+	if got := r.Map("m").Buckets(); got != 16 {
+		t.Errorf("buckets = %d want 16", got)
+	}
+	if got := r.Counter("c").Stripes(); got != 4 {
+		t.Errorf("stripes = %d want 4", got)
+	}
+}
+
+// TestRegistryConcurrentFirstUse races many goroutines on first use of
+// the same names, including transactional use of whatever structure each
+// goroutine got back: every goroutine must observe the same instance.
+func TestRegistryConcurrentFirstUse(t *testing.T) {
+	r := stmlib.NewRegistry(stmlib.RegistryConfig{})
+	rt := newRT(t, 4, false)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	ctrs := make([]*stmlib.TCounter, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctr := r.Counter("hits")
+			ctrs[g] = ctr
+			name := fmt.Sprintf("m%d", g%4)
+			if err := rt.Run(func(c *pnstm.Ctx) {
+				_ = c.Atomic(func(c *pnstm.Ctx) error {
+					ctr.Inc(c)
+					r.Map(name).Put(c, fmt.Sprintf("k%d", g), []byte{byte(g)})
+					return nil
+				})
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		if ctrs[g] != ctrs[0] {
+			t.Fatalf("goroutine %d got a different counter instance", g)
+		}
+	}
+	run(t, rt, func(c *pnstm.Ctx) {
+		if s := r.Counter("hits").Sum(c); s != goroutines {
+			t.Errorf("counter = %d want %d", s, goroutines)
+		}
+		total := 0
+		for i := 0; i < 4; i++ {
+			total += r.Map(fmt.Sprintf("m%d", i)).Len(c)
+		}
+		if total != goroutines {
+			t.Errorf("map entries = %d want %d", total, goroutines)
+		}
+	})
+}
