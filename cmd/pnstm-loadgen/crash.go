@@ -1,0 +1,395 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnstm/client"
+	"pnstm/internal/bench"
+	"pnstm/server"
+)
+
+// Crash-recovery mode (-kill-after): boot an embedded durable server,
+// drive a write-heavy mix for the given duration, hard-kill it —
+// server.Kill abandons the WAL without flushing, the in-process
+// equivalent of SIGKILL — then restart on the same data directory and
+// check the recovered store against what the clients saw acked:
+//
+//   - counter: recovered sum within [acked, attempted] adds — nothing
+//     acked lost, nothing invented beyond the in-flight window
+//   - queues (one per producer, sequential values): recovered contents
+//     are exactly 0..n-1 in FIFO order, n within [acked, attempted]
+//   - checkout: stock conservation and revenue consistency hold
+//     EXACTLY in any recovered state, and units sold ≥ units acked
+//
+// The cross-process variant of the same drill — real kill -9 against a
+// pnstmd -data-dir, then -recovery-check — runs in CI.
+
+// crashTally tracks acked-vs-attempted per invariant.
+type crashTally struct {
+	producers     int
+	ackedAdds     atomic.Int64
+	attemptedAdds atomic.Int64
+	ackedSold     atomic.Int64
+	ackedPush     []atomic.Int64
+	attemptedPush []atomic.Int64
+}
+
+// runCrash drives the crash-recovery drill; returns an error when load
+// could not run or any invariant fails.
+func runCrash(cfg genCfg, workers, maxBatch int, dataDir string, killAfter time.Duration, jsonDir, name string) error {
+	if dataDir == "" {
+		tmp, err := os.MkdirTemp("", "pnstm-crash-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	} else if entries, err := os.ReadDir(dataDir); err == nil && len(entries) > 0 {
+		// The drill's invariants assume the run starts from nothing
+		// (fresh counters, queues pushed 0..n-1, stock == stockPer);
+		// recovering an earlier run's state would report them as false
+		// violations.
+		return fmt.Errorf("crash drill needs an empty -data-dir, but %s has %d entries", dataDir, len(entries))
+	}
+	scfg := server.Config{
+		Addr:     "127.0.0.1:0",
+		Workers:  workers,
+		MaxBatch: maxBatch,
+		DataDir:  dataDir,
+		Fsync:    true,
+	}
+	s, err := server.New(scfg)
+	if err != nil {
+		return err
+	}
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	go s.Serve() //nolint:errcheck // torn down via Kill below
+	cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+	if err != nil {
+		s.Close()
+		return err
+	}
+
+	for i := 0; i < cfg.skus; i++ {
+		if err := cl.MapPutInt(stockName, skuName(i), cfg.stockPer); err != nil {
+			s.Close()
+			return fmt.Errorf("crash setup: %w", err)
+		}
+	}
+
+	producers := cfg.concurrency / 2
+	if producers < 1 {
+		producers = 1
+	}
+	buyers := cfg.concurrency - producers
+	if buyers < 1 {
+		buyers = 1
+	}
+	tally := &crashTally{
+		producers:     producers,
+		ackedPush:     make([]atomic.Int64, producers),
+		attemptedPush: make([]atomic.Int64, producers),
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				tally.attemptedPush[g].Add(1)
+				if err := cl.QueuePush(crashQueueName(g), server.EncodeInt64(int64(i))); err != nil {
+					return // killed
+				}
+				tally.ackedPush[g].Add(1)
+				tally.attemptedAdds.Add(2)
+				if err := cl.CounterAdd(counterName, 2); err != nil {
+					return
+				}
+				tally.ackedAdds.Add(2)
+			}
+		}()
+	}
+	for g := 0; g < buyers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(g)*7919))
+			for !stop.Load() {
+				qty := int64(1 + rng.Intn(3))
+				ok, _, err := cl.Checkout(stockName, server.Checkout{
+					Sold: soldName, Revenue: revenueName, Cents: qty * 100,
+					Lines: []server.CheckoutLine{{SKU: skuName(rng.Intn(cfg.skus)), Qty: qty}},
+				})
+				if err != nil {
+					return // killed
+				}
+				if ok {
+					tally.ackedSold.Add(qty)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(killAfter)
+	s.Kill()
+	stop.Store(true)
+	wg.Wait()
+	cl.Close()
+	fmt.Printf("== killed pnstmd after %v: %d adds, %d units sold acked before the crash\n",
+		killAfter, tally.ackedAdds.Load(), tally.ackedSold.Load())
+	if tally.ackedAdds.Load() == 0 && tally.ackedSold.Load() == 0 {
+		return fmt.Errorf("no load was acked before the kill; raise -kill-after")
+	}
+
+	// Restart on the same directory and verify.
+	s2, err := server.New(scfg)
+	if err != nil {
+		return fmt.Errorf("restart after crash: %w", err)
+	}
+	if err := s2.Listen(); err != nil {
+		return err
+	}
+	go s2.Serve() //nolint:errcheck
+	defer s2.Close()
+	cl2, err := client.Dial(s2.Addr().String(), client.Options{Conns: 1})
+	if err != nil {
+		return err
+	}
+	defer cl2.Close()
+
+	ws := s2.WALStats()
+	fmt.Printf("== recovered: snapshot lsn %d, %d wal records, tail lsn %d\n",
+		ws.SnapshotLSN, ws.RecoveredRecords, ws.TailLSN)
+
+	violations, recovered := verifyCrashRecovery(cl2, cfg, tally)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATED: %s\n", v)
+	}
+	if len(violations) == 0 {
+		fmt.Println("== crash-recovery invariants ok (counter, queue FIFO, conservation)")
+	}
+
+	if jsonDir != "" {
+		if name == "" {
+			name = "loadgen-crash-recovery"
+		}
+		rep := &bench.Report{
+			Name: name,
+			Kind: "loadgen",
+			Config: map[string]any{
+				"kill_after":  killAfter.String(),
+				"workers":     workers,
+				"max_batch":   maxBatch,
+				"concurrency": cfg.concurrency,
+				"skus":        cfg.skus,
+				"stock":       cfg.stockPer,
+				"seed":        cfg.seed,
+			},
+			Metrics: map[string]float64{
+				"acked_adds":        float64(tally.ackedAdds.Load()),
+				"recovered_counter": float64(recovered.counter),
+				"acked_sold":        float64(tally.ackedSold.Load()),
+				"recovered_sold":    float64(recovered.sold),
+				"wal_records":       float64(ws.RecoveredRecords),
+				"snapshot_lsn":      float64(ws.SnapshotLSN),
+				"violations":        float64(len(violations)),
+			},
+		}
+		if len(violations) == 0 {
+			rep.Notes = []string{"crash-recovery invariants ok"}
+		} else {
+			rep.Notes = violations
+		}
+		path, err := rep.WriteFile(jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", path)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d crash-recovery invariant violations", len(violations))
+	}
+	return nil
+}
+
+func crashQueueName(g int) string { return fmt.Sprintf("bench:crashq%d", g) }
+
+// recoveredState is what verifyCrashRecovery read back.
+type recoveredState struct {
+	counter int64
+	sold    int64
+}
+
+// verifyCrashRecovery checks the recovered store against the tally.
+func verifyCrashRecovery(cl *client.Client, cfg genCfg, tally *crashTally) ([]string, recoveredState) {
+	var out []string
+	var rec recoveredState
+	fail := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+
+	sum, err := cl.CounterSum(counterName)
+	if err != nil {
+		fail("counter sum: %v", err)
+		return out, rec
+	}
+	rec.counter = sum
+	if sum < tally.ackedAdds.Load() || sum > tally.attemptedAdds.Load() {
+		fail("counter %d outside [acked %d, attempted %d]", sum, tally.ackedAdds.Load(), tally.attemptedAdds.Load())
+	}
+
+	for g := 0; g < tally.producers; g++ {
+		name := crashQueueName(g)
+		n, err := cl.QueueLen(name)
+		if err != nil {
+			fail("queue %s len: %v", name, err)
+			return out, rec
+		}
+		if n < tally.ackedPush[g].Load() || n > tally.attemptedPush[g].Load() {
+			fail("queue %s holds %d, outside [acked %d, attempted %d]",
+				name, n, tally.ackedPush[g].Load(), tally.attemptedPush[g].Load())
+		}
+		for i := int64(0); i < n; i++ {
+			raw, ok, err := cl.QueuePop(name)
+			if err != nil || !ok {
+				fail("queue %s pop %d: ok=%v err=%v", name, i, ok, err)
+				return out, rec
+			}
+			if v, _ := server.DecodeInt64(raw); v != i {
+				fail("queue %s pop %d = %d: FIFO prefix broken", name, i, v)
+				break
+			}
+		}
+	}
+
+	var remaining int64
+	for i := 0; i < cfg.skus; i++ {
+		v, ok, err := cl.MapGetInt(stockName, skuName(i))
+		if err != nil || !ok {
+			fail("stock %s: ok=%v err=%v", skuName(i), ok, err)
+			return out, rec
+		}
+		if v < 0 {
+			fail("stock %s oversold after recovery: %d", skuName(i), v)
+		}
+		remaining += v
+	}
+	sold, err := cl.CounterSum(soldName)
+	if err != nil {
+		fail("sold sum: %v", err)
+		return out, rec
+	}
+	rec.sold = sold
+	revenue, err := cl.CounterSum(revenueName)
+	if err != nil {
+		fail("revenue sum: %v", err)
+		return out, rec
+	}
+	if total, want := remaining+sold, int64(cfg.skus)*cfg.stockPer; total != want {
+		fail("conservation violated: remaining %d + sold %d = %d, want %d", remaining, sold, total, want)
+	}
+	if revenue != sold*100 {
+		fail("revenue %d inconsistent with %d units sold", revenue, sold)
+	}
+	if sold < tally.ackedSold.Load() {
+		fail("recovered sold %d < acked sold %d: durable acks lost", sold, tally.ackedSold.Load())
+	}
+	return out, rec
+}
+
+// runRecoveryCheck (-recovery-check) connects to a freshly restarted
+// pnstmd and verifies the invariants a recovered store must satisfy
+// after an earlier checkout load: non-negative stock, exact
+// conservation, revenue consistency. The baselines come from the
+// bench:meta entries the load's setup wrote into the store itself —
+// durable alongside the data — so the check needs no memory of the
+// pre-crash process (CI kills pnstmd with a real SIGKILL in between)
+// and stays exact however many load runs the data dir has seen.
+func runRecoveryCheck(addr string, cfg genCfg) error {
+	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	var violations []string
+	fail := func(format string, args ...any) { violations = append(violations, fmt.Sprintf(format, args...)) }
+
+	// Provisioning epoch: prefer the durable meta (exact across reuse);
+	// fall back to the flags' fresh-dir assumption when absent.
+	meta := func(key string, fallback int64) int64 {
+		v, ok, err := cl.MapGetInt(metaName, key)
+		if err != nil || !ok {
+			return fallback
+		}
+		return v
+	}
+	skus := int(meta("skus", int64(cfg.skus)))
+	stockTotal := meta("stock_total", int64(cfg.skus)*cfg.stockPer)
+	sold0 := meta("sold0", 0)
+	revenue0 := meta("revenue0", 0)
+
+	var remaining int64
+	stocked := 0
+	for i := 0; i < skus; i++ {
+		v, ok, err := cl.MapGetInt(stockName, skuName(i))
+		if err != nil {
+			return fmt.Errorf("stock %s: %w", skuName(i), err)
+		}
+		if !ok {
+			continue // this SKU never provisioned
+		}
+		stocked++
+		if v < 0 {
+			fail("stock %s oversold: %d", skuName(i), v)
+		}
+		remaining += v
+	}
+	if stocked == 0 {
+		return fmt.Errorf("recovery-check: no stock found under %q — was the load run with the same -skus?", stockName)
+	}
+	if stocked != skus {
+		fail("only %d of %d SKUs survived recovery", stocked, skus)
+	}
+	soldAbs, err := cl.CounterSum(soldName)
+	if err != nil {
+		return err
+	}
+	revenueAbs, err := cl.CounterSum(revenueName)
+	if err != nil {
+		return err
+	}
+	sold, revenue := soldAbs-sold0, revenueAbs-revenue0
+	if total := remaining + sold; total != stockTotal {
+		fail("conservation violated: remaining %d + sold %d = %d, want %d", remaining, sold, total, stockTotal)
+	}
+	if revenue != sold*100 {
+		fail("revenue %d inconsistent with %d units sold", revenue, sold)
+	}
+	// The mixed/readmap preload is durable before the measured load
+	// starts, and its puts only overwrite preloaded keys.
+	if n, err := cl.MapLen(mapName); err != nil {
+		return err
+	} else if n != 0 && n != int64(cfg.keys) {
+		fail("map %q has %d keys after recovery, want %d", mapName, n, cfg.keys)
+	}
+
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATED: %s\n", v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d recovery invariant violations", len(violations))
+	}
+	fmt.Printf("recovery-check ok: %d SKUs, %d remaining + %d sold = %d, revenue consistent\n",
+		stocked, remaining, sold, remaining+sold)
+	return nil
+}

@@ -123,6 +123,14 @@ const (
 	stockName   = "bench:stock"
 	soldName    = "bench:sold"
 	revenueName = "bench:revenue"
+
+	// metaName records each setup's provisioning epoch in the store
+	// itself (durably, on a persistent server): the sold/revenue
+	// baselines at the moment stock was re-provisioned, and the stock
+	// total. -recovery-check reads these back, so its conservation law
+	// holds across restarts AND across repeated load runs on one data
+	// dir — the law is over the deltas since the last provisioning.
+	metaName = "bench:meta"
 )
 
 func queueName(i int) string { return fmt.Sprintf("bench:q%d", i) }
@@ -146,7 +154,22 @@ func (d *driver) setup() error {
 			}
 		}
 	}
-	return d.snapshotBaselines()
+	if err := d.snapshotBaselines(); err != nil {
+		return err
+	}
+	if c.workload == "checkout" || c.workload == "mixed" {
+		for k, v := range map[string]int64{
+			"sold0":       d.base.sold,
+			"revenue0":    d.base.revenue,
+			"skus":        int64(c.skus),
+			"stock_total": int64(c.skus) * c.stockPer,
+		} {
+			if err := d.cl.MapPutInt(metaName, k, v); err != nil {
+				return fmt.Errorf("setup meta: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // snapshotBaselines records the post-setup server state the invariants

@@ -19,6 +19,14 @@
 //	pnstm-loadgen -workload readmap -rate 20000          # open loop
 //	pnstm-loadgen -compare -workload readmap -json .     # embedded A/B:
 //	        group commit (batched) vs batch-size-1 serial execution
+//	pnstm-loadgen -compare -persist -workload counter -json .
+//	        # persistence overhead A/B: in-memory vs WAL vs WAL+fsync
+//	pnstm-loadgen -kill-after 3s -json .    # crash-recovery drill:
+//	        hard-kill an embedded durable server mid-load, restart it on
+//	        the same data dir, verify the recovered invariants
+//	pnstm-loadgen -recovery-check -addr localhost:7455
+//	        # after an out-of-process kill -9 + restart: verify the
+//	        # recovered store's conservation invariants
 //
 // Every run verifies its workload's closed-form invariants against the
 // final server state and exits nonzero on a violation.
@@ -55,7 +63,11 @@ func main() {
 
 		compare      = flag.Bool("compare", false, "embedded A/B: run against two in-process servers — group commit vs batch-size-1 serial — instead of -addr")
 		compareBatch = flag.Int("comparebatch", 64, "compare mode: MaxBatch of the batched server")
-		workers      = flag.Int("workers", 8, "compare mode: worker slots of the embedded servers")
+		workers      = flag.Int("workers", 8, "compare/crash mode: worker slots of the embedded servers")
+		persist      = flag.Bool("persist", false, "with -compare: persistence-overhead A/B — in-memory vs WAL (no fsync) vs WAL (fsync per group commit)")
+		killAfter    = flag.Duration("kill-after", 0, "crash-recovery drill: hard-kill an embedded durable server after this long under load, restart, verify invariants")
+		dataDir      = flag.String("data-dir", "", "crash mode: data directory to crash and recover on (empty: a temp dir)")
+		recoveryChk  = flag.Bool("recovery-check", false, "verify a restarted pnstmd at -addr holds the recovered-store invariants (conservation, no oversell)")
 	)
 	flag.Parse()
 
@@ -75,6 +87,35 @@ func main() {
 	if err := cfg.fillDefaults(); err != nil {
 		fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *persist && !*compare {
+		fmt.Fprintln(os.Stderr, "pnstm-loadgen: -persist requires -compare (the persistence A/B runs embedded servers)")
+		os.Exit(2)
+	}
+
+	if *recoveryChk {
+		if err := runRecoveryCheck(*addr, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *killAfter > 0 {
+		if err := runCrash(cfg, *workers, *compareBatch, *dataDir, *killAfter, *jsonDir, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *compare && *persist {
+		if err := runPersistCompare(cfg, *workers, *compareBatch, *jsonDir, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *compare {
@@ -295,6 +336,127 @@ func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
 	}
 	if len(ser.violations) > 0 || len(bat.violations) > 0 || ser.errs > 0 || bat.errs > 0 {
 		return fmt.Errorf("invariant violations or request errors (see above)")
+	}
+	return nil
+}
+
+// runPersistCompare measures what durability costs: the same batched
+// workload against an in-memory server, a WAL server without fsync,
+// and a WAL server with one fsync per group commit. Because the fsync
+// is amortized over the whole batch — like the paper amortizes block
+// dispatch — the durable mode's throughput should stay within a small
+// factor of in-memory, which is the figure this report captures.
+func runPersistCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
+	type mode struct {
+		label   string
+		durable bool
+		fsync   bool
+	}
+	modes := []mode{
+		{"memory", false, false},
+		{"wal-nofsync", true, false},
+		{"wal-fsync", true, true},
+	}
+	reg := stmlib.RegistryConfig{MapBuckets: 4 * cfg.keys}
+	results := make(map[string]*genResult, len(modes))
+	walStats := make(map[string]float64, len(modes))
+	for _, m := range modes {
+		scfg := server.Config{
+			Addr:        "127.0.0.1:0",
+			Workers:     workers,
+			MaxBatch:    maxBatch,
+			SharedReads: true,
+			Registry:    reg,
+		}
+		if m.durable {
+			dir, err := os.MkdirTemp("", "pnstm-persist-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			scfg.DataDir = dir
+			scfg.Fsync = m.fsync
+		}
+		s, err := server.New(scfg)
+		if err != nil {
+			return err
+		}
+		if err := s.Listen(); err != nil {
+			return err
+		}
+		go s.Serve() //nolint:errcheck // torn down via Close below
+		cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+		if err != nil {
+			s.Close()
+			return err
+		}
+		fmt.Printf("== %s (workers=%d batch=%d fsync=%v)\n", m.label, workers, maxBatch, m.fsync)
+		res, err := runLoad(cl, cfg)
+		if m.durable {
+			ws := s.WALStats()
+			walStats[m.label+"_wal_records"] = float64(ws.Appends)
+			walStats[m.label+"_wal_fsyncs"] = float64(ws.Syncs)
+		}
+		cl.Close()
+		s.Close()
+		if err != nil {
+			return err
+		}
+		printResult(cfg, res)
+		results[m.label] = res
+	}
+
+	mem, nof, fs := results["memory"], results["wal-nofsync"], results["wal-fsync"]
+	metrics := bench.PersistenceMetrics(mem.throughput(), nof.throughput(), fs.throughput())
+	fmt.Printf("== persistence overhead: WAL retains %.0f%%, WAL+fsync retains %.0f%% of in-memory throughput\n",
+		100*metrics["wal_retained_ratio"], 100*metrics["durable_retained_ratio"])
+
+	if jsonDir != "" {
+		if name == "" {
+			name = "loadgen-" + cfg.workload + "-persist"
+		}
+		for k, v := range walStats {
+			metrics[k] = v
+		}
+		for k, v := range bench.LatencyMetrics(fs.latencies) {
+			metrics["fsync_"+k] = v
+		}
+		for k, v := range bench.LatencyMetrics(mem.latencies) {
+			metrics["memory_"+k] = v
+		}
+		rep := &bench.Report{
+			Name: name,
+			Kind: "loadgen",
+			Config: map[string]any{
+				"workload":    cfg.workload,
+				"concurrency": cfg.concurrency,
+				"conns":       cfg.conns,
+				"duration":    cfg.duration.String(),
+				"workers":     workers,
+				"max_batch":   maxBatch,
+				"seed":        cfg.seed,
+			},
+			Metrics: metrics,
+		}
+		for _, m := range modes {
+			if res := results[m.label]; len(res.violations) > 0 {
+				rep.Notes = append(rep.Notes, res.violations...)
+			}
+		}
+		if len(rep.Notes) == 0 {
+			rep.Notes = []string{"invariants ok in all three modes"}
+		}
+		path, err := rep.WriteFile(jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", path)
+	}
+	for _, m := range modes {
+		res := results[m.label]
+		if len(res.violations) > 0 || res.errs > 0 {
+			return fmt.Errorf("invariant violations or request errors (see above)")
+		}
 	}
 	return nil
 }

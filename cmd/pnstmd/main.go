@@ -9,9 +9,15 @@
 //	pnstmd                                  # listen on :7455, batch up to 64
 //	pnstmd -addr :9000 -workers 16 -batch 128 -batchdelay 200us
 //	pnstmd -batch 1 -serial                 # the no-batching serial baseline
+//	pnstmd -data-dir ./pnstm-data           # durable: WAL + snapshots, crash-safe
+//	pnstmd -data-dir ./pnstm-data -fsync=false -snapshot-every 10s
 //
-// SIGINT/SIGTERM shut down gracefully and print the final stats. Drive
-// it with cmd/pnstm-loadgen.
+// With -data-dir the server write-ahead-logs every group commit (one
+// fsync per batch), checkpoints the whole store on the -snapshot-every
+// cadence, and on boot recovers snapshot + WAL tail — a restart loses
+// nothing that was acked. SIGINT/SIGTERM shut down gracefully (flush +
+// final fsync) and print the final stats. Drive it with
+// cmd/pnstm-loadgen.
 package main
 
 import (
@@ -37,6 +43,10 @@ func main() {
 		inflight   = flag.Int("inflight", 1, "concurrent group commits (1: classic group commit; >1 pipelines batches — read-dominant workloads only, overlapping writers can livelock)")
 		buckets    = flag.Int("buckets", 64, "buckets per named map")
 		stripes    = flag.Int("stripes", 8, "stripes per named counter")
+		dataDir    = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty: in-memory only")
+		fsync      = flag.Bool("fsync", true, "fsync the WAL once per group commit (with -data-dir)")
+		snapEvery  = flag.Duration("snapshot-every", time.Minute, "background checkpoint cadence (0 disables; with -data-dir)")
+		walSegment = flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0: default 64 MiB)")
 	)
 	flag.Parse()
 
@@ -50,18 +60,30 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Addr:        *addr,
-		Workers:     *workers,
-		MaxBatch:    *batch,
-		BatchDelay:  *batchdelay,
-		Serial:      *serial,
-		SharedReads: *sharedr,
-		MaxInflight: *inflight,
-		Registry:    stmlib.RegistryConfig{MapBuckets: *buckets, CounterStripes: *stripes},
+		Addr:            *addr,
+		Workers:         *workers,
+		MaxBatch:        *batch,
+		BatchDelay:      *batchdelay,
+		Serial:          *serial,
+		SharedReads:     *sharedr,
+		MaxInflight:     *inflight,
+		Registry:        stmlib.RegistryConfig{MapBuckets: *buckets, CounterStripes: *stripes},
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		SnapshotEvery:   *snapEvery,
+		WALSegmentBytes: *walSegment,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnstmd: %v\n", err)
 		os.Exit(1)
+	}
+	if *dataDir != "" {
+		ws := s.WALStats()
+		fmt.Printf("pnstmd: recovered %s (snapshot lsn %d, %d wal records replayed, tail lsn %d)\n",
+			*dataDir, ws.SnapshotLSN, ws.TailLSN-ws.SnapshotLSN, ws.TailLSN)
+		if ws.RepairedTail {
+			fmt.Printf("pnstmd: repaired a torn WAL tail (%d segments quarantined)\n", ws.Quarantined)
+		}
 	}
 	if err := s.Listen(); err != nil {
 		fmt.Fprintf(os.Stderr, "pnstmd: %v\n", err)
@@ -97,4 +119,8 @@ func main() {
 		st.Batches, st.Requests, st.MeanBatch, st.LargestBatch)
 	fmt.Printf("runtime: begun=%d committed=%d aborted=%d (abort ratio %.4f) escalations=%d\n",
 		st.Runtime.Begun, st.Runtime.Committed, st.Runtime.Aborted, st.RuntimeAborts, st.Runtime.Escalations)
+	if st.WAL != nil {
+		fmt.Printf("wal: records=%d fsyncs=%d snapshots=%d segments=%d tail-lsn=%d\n",
+			st.WAL.Appends, st.WAL.Syncs, st.WAL.Snapshots, st.WAL.Segments, st.WAL.TailLSN)
+	}
 }

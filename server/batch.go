@@ -3,10 +3,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pnstm"
+	"pnstm/internal/wal"
 	"pnstm/stmlib"
 )
 
@@ -28,11 +31,16 @@ import (
 // against.
 
 // pending is one request waiting for its batch, plus the route back to
-// its connection.
+// its connection. seq/logged are the durability bookkeeping: seq is the
+// request's position in the batch's commit order (stamped inside its
+// transaction, see execute), logged whether it mutated the store and
+// therefore goes to the WAL.
 type pending struct {
 	req     *Request
 	resp    Response
 	deliver func(Response)
+	seq     uint64
+	logged  bool
 }
 
 // errRejected aborts a request's nested transaction without failing the
@@ -47,12 +55,17 @@ const minRequestsPerBlock = 8
 type batcher struct {
 	rt       *pnstm.Runtime
 	reg      *stmlib.Registry
+	wal      *wal.Log // nil: in-memory only
 	in       chan *pending
 	maxBatch int
 	fanout   int // parallel blocks per batch (~worker count)
 	delay    time.Duration
 	stop     chan struct{}
 	done     chan struct{}
+
+	// smu/stopped fence submit against close: see submit.
+	smu     sync.RWMutex
+	stopped bool
 
 	// inflight bounds concurrent group commits; see Config.MaxInflight
 	// for why the default is 1 (overlapping write-heavy batches can
@@ -67,7 +80,7 @@ type batcher struct {
 	largest  int
 }
 
-func newBatcher(rt *pnstm.Runtime, reg *stmlib.Registry, maxBatch, fanout, inflight int, delay time.Duration) *batcher {
+func newBatcher(rt *pnstm.Runtime, reg *stmlib.Registry, wl *wal.Log, maxBatch, fanout, inflight int, delay time.Duration) *batcher {
 	if fanout < 1 {
 		fanout = 1
 	}
@@ -77,6 +90,7 @@ func newBatcher(rt *pnstm.Runtime, reg *stmlib.Registry, maxBatch, fanout, infli
 	b := &batcher{
 		rt:       rt,
 		reg:      reg,
+		wal:      wl,
 		in:       make(chan *pending, 4*maxBatch),
 		maxBatch: maxBatch,
 		fanout:   fanout,
@@ -90,8 +104,16 @@ func newBatcher(rt *pnstm.Runtime, reg *stmlib.Registry, maxBatch, fanout, infli
 }
 
 // submit hands a request to the batcher; returns false when the batcher
-// is shutting down (callers answer StatusErr themselves).
+// is shutting down (callers answer StatusErr themselves). The smu/
+// stopped handshake makes every successful send happen-before close's
+// stop signal — so the loop's final drain pass provably sees it, and no
+// request can slip into the queue after the drain and hang unanswered.
 func (b *batcher) submit(p *pending) bool {
+	b.smu.RLock()
+	defer b.smu.RUnlock()
+	if b.stopped {
+		return false
+	}
 	select {
 	case b.in <- p:
 		return true
@@ -100,8 +122,14 @@ func (b *batcher) submit(p *pending) bool {
 	}
 }
 
-// close stops the loop and fails whatever was still queued.
+// close stops the loop and fails whatever was still queued. Setting
+// stopped (under the write lock) before closing stop waits out every
+// in-flight submit — the loop is still consuming at that point, so
+// those sends cannot block indefinitely.
 func (b *batcher) close() {
+	b.smu.Lock()
+	b.stopped = true
+	b.smu.Unlock()
 	close(b.stop)
 	<-b.done
 }
@@ -180,6 +208,31 @@ func (b *batcher) collect(first *pending) []*pending {
 // request aborts alone (its own nested transaction) whichever group it
 // rides in.
 func (b *batcher) execute(batch []*pending) {
+	// seq stamps the batch's commit order for the WAL: each mutating
+	// request takes a ticket as the LAST step inside its (wrapping)
+	// child transaction. If request B observed request A's write, A's
+	// child committed — merged into the batch transaction — before B's
+	// final attempt read it, so A took its ticket first: sorting by seq
+	// reproduces a valid serialization of the batch on replay.
+	var seq atomic.Uint64
+	apply := func(c *pnstm.Ctx, p *pending) {
+		if b.wal == nil || !canMutate(p.req.Op) {
+			// Pure reads never log, so they skip the ticket-stamping
+			// wrapper transaction entirely.
+			p.resp = applyRequest(c, b.reg, p.req)
+			return
+		}
+		_ = c.Atomic(func(c *pnstm.Ctx) error {
+			p.logged = false // retried attempts must re-decide
+			p.resp = applyRequest(c, b.reg, p.req)
+			if mutating(p.req, &p.resp) {
+				p.seq = seq.Add(1)
+				p.logged = true
+			}
+			return nil
+		})
+	}
+
 	err := b.rt.Run(func(c *pnstm.Ctx) {
 		_ = c.Atomic(func(c *pnstm.Ctx) error {
 			// A block dispatch costs roughly a worker wakeup, so forking
@@ -200,7 +253,7 @@ func (b *batcher) execute(batch []*pending) {
 				// Small batch (or fanout 1): inline children, no fork —
 				// with MaxBatch 1 this is the batch-size-1 baseline shape.
 				for _, p := range batch {
-					p.resp = applyRequest(c, b.reg, p.req)
+					apply(c, p)
 				}
 				return nil
 			}
@@ -210,7 +263,7 @@ func (b *batcher) execute(batch []*pending) {
 				slice := batch[lo:hi]
 				fns[g] = func(c *pnstm.Ctx) {
 					for _, p := range slice {
-						p.resp = applyRequest(c, b.reg, p.req)
+						apply(c, p)
 					}
 				}
 			}
@@ -218,6 +271,23 @@ func (b *batcher) execute(batch []*pending) {
 			return nil
 		})
 	})
+
+	// Make the batch durable before any of its acks leave: one record,
+	// one fsync, covering every mutating request in commit order.
+	if err == nil && b.wal != nil {
+		if werr := b.logBatch(batch); werr != nil {
+			// The store applied the batch but the log did not: nothing
+			// acked here may claim durability, so every request fails.
+			// The wal latches itself shut on append failure (memory is
+			// now ahead of the durable history, and logging further
+			// batches over the hole would recover divergent state), so
+			// subsequent mutating batches fail too until a restart
+			// re-opens a consistent prefix.
+			for _, p := range batch {
+				p.resp = Response{ID: p.req.ID, Status: StatusErr, Msg: "wal: " + werr.Error()}
+			}
+		}
+	}
 
 	b.mu.Lock()
 	b.batches++
@@ -238,6 +308,48 @@ func (b *batcher) execute(batch []*pending) {
 		}
 		p.deliver(resp)
 	}
+}
+
+// logBatch appends the batch's mutating requests — sorted into commit
+// order — to the WAL, normally as one record with one fsync. Read-only
+// batches append nothing (and cost no fsync). A batch whose encoding
+// would overflow the record limit (legal with a large MaxBatch and
+// near-MaxFrame requests) is split into several records: commit order
+// is preserved across the chunks, and replaying them as separate root
+// transactions is equivalent because batch membership is a grouping of
+// independent requests, not a unit of atomicity.
+func (b *batcher) logBatch(batch []*pending) error {
+	var logged []*pending
+	for _, p := range batch {
+		if p.logged {
+			logged = append(logged, p)
+		}
+	}
+	if len(logged) == 0 {
+		return nil
+	}
+	sort.Slice(logged, func(i, j int) bool { return logged[i].seq < logged[j].seq })
+
+	var body []byte
+	for i := 0; i < len(logged); i++ {
+		frame, err := AppendRequest(nil, logged[i].req)
+		if err != nil {
+			// In memory but unencodable: latch the wal shut ourselves
+			// (Append latches its own failures), or the next batch would
+			// append over a hole in the durable history.
+			b.wal.Fail(err)
+			return err
+		}
+		if len(body) > 0 && len(body)+len(frame) > wal.MaxBody {
+			if _, err := b.wal.Append(body); err != nil {
+				return err
+			}
+			body = body[:0]
+		}
+		body = append(body, frame...)
+	}
+	_, err := b.wal.Append(body)
+	return err
 }
 
 // applyRequest executes one request as its own nested transaction inside
@@ -317,6 +429,11 @@ func applyCheckout(c *pnstm.Ctx, reg *stmlib.Registry, req *Request, resp *Respo
 		co = &Checkout{}
 	}
 	return c.Atomic(func(c *pnstm.Ctx) error {
+		// The body may retry after a conflict abort: clear the rejected-
+		// SKU marker a discarded attempt may have left, or a successful
+		// retry would ack StatusOK with a stale failure Msg.
+		resp.Msg = ""
+		resp.Num = 0
 		stock := reg.Map(req.Name)
 		var units int64
 		for _, ln := range co.Lines {

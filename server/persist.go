@@ -1,0 +1,355 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"pnstm"
+	"pnstm/stmlib"
+)
+
+// Durability: the group commit is the durability unit. Each batch that
+// mutated the store is encoded as ONE wal record — the mutating
+// requests, in the serialization order their child transactions
+// committed in — and appended with ONE fsync before any response of the
+// batch is acked (D17). Recovery loads the newest snapshot (a
+// stmlib.Registry image captured by a parallel-nested bulk read) and
+// replays the WAL tail through the same shape as live traffic: each
+// logged batch is a root transaction, each logged request a nested
+// child, children fanned out over parallel blocks grouped by structure
+// so that same-structure requests re-apply in their logged
+// serialization order while different structures replay concurrently
+// (D21).
+
+// ---------------------------------------------------------------------------
+// Batch records
+// ---------------------------------------------------------------------------
+
+// decodeBatch parses a wal record body — a sequence of protocol
+// request frames, the same length-prefixed framing the wire uses (see
+// batcher.logBatch for the encoder) — back into requests.
+func decodeBatch(body []byte) ([]*Request, error) {
+	var reqs []*Request
+	off := 0
+	for off < len(body) {
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("server: wal record: truncated frame header")
+		}
+		n := int(binary.BigEndian.Uint32(body[off:]))
+		off += 4
+		if n > len(body)-off {
+			return nil, fmt.Errorf("server: wal record: frame of %d bytes overruns record", n)
+		}
+		req, err := ParseRequest(body[off : off+n])
+		if err != nil {
+			return nil, fmt.Errorf("server: wal record: %w", err)
+		}
+		reqs = append(reqs, req)
+		off += n
+	}
+	return reqs, nil
+}
+
+// canMutate reports whether an opcode can change the store at all —
+// the static filter deciding which requests need the commit-order
+// ticket wrapper.
+func canMutate(op uint8) bool {
+	switch op {
+	case OpMapPut, OpMapDelete, OpQueuePush, OpQueuePop, OpCounterAdd, OpCheckout:
+		return true
+	}
+	return false
+}
+
+// mutating reports whether the executed request changed the store —
+// only those are logged. Rejected checkouts, missed deletes/pops and
+// all pure reads left nothing to redo.
+func mutating(req *Request, resp *Response) bool {
+	if resp.Status != StatusOK {
+		return false
+	}
+	switch req.Op {
+	case OpMapPut, OpQueuePush, OpCounterAdd, OpCheckout:
+		return true
+	case OpMapDelete, OpQueuePop:
+		return resp.Found
+	}
+	return false
+}
+
+// replayGroupKey buckets a logged request by the structure it mutates.
+// Replay applies same-structure requests sequentially in logged order
+// (their live serialization order) and different structures in
+// parallel; counter adds commute, so checkout rides with its stock map
+// and its counter credits need no ordering of their own.
+func replayGroupKey(req *Request) string {
+	switch req.Op {
+	case OpMapPut, OpMapDelete, OpCheckout:
+		return "m\x00" + req.Name
+	case OpQueuePush, OpQueuePop:
+		return "q\x00" + req.Name
+	case OpCounterAdd:
+		return "c\x00" + req.Name
+	}
+	return "?"
+}
+
+// replayBatch re-executes one logged batch: a root transaction whose
+// nested children are the logged requests, spread over ≤ fanout
+// parallel blocks by structure. Within a structure the logged order is
+// the commit order, so the recovered state matches the pre-crash store
+// exactly.
+func replayBatch(rt *pnstm.Runtime, reg *stmlib.Registry, fanout int, reqs []*Request) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	var order []string
+	groups := make(map[string][]*Request)
+	for _, r := range reqs {
+		k := replayGroupKey(r)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	blocks := fanout
+	if blocks > len(order) {
+		blocks = len(order)
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	// Only requests that succeeded live are logged, and same-structure
+	// ordering is preserved — so on replay every request must succeed
+	// identically. Anything else is divergence (a lost record, an
+	// ordering bug) and the boot must fail rather than serve it.
+	// Parallel children report through disjoint slots.
+	divergence := make([]error, blocks)
+	runErr := rt.Run(func(c *pnstm.Ctx) {
+		_ = c.Atomic(func(c *pnstm.Ctx) error {
+			apply := func(c *pnstm.Ctx, slot int, keys []string) {
+				divergence[slot] = nil // the enclosing tx may retry; judge the final attempt
+				for _, k := range keys {
+					for _, r := range groups[k] {
+						resp := applyRequest(c, reg, r)
+						if divergence[slot] == nil {
+							if resp.Status != StatusOK {
+								divergence[slot] = fmt.Errorf("op %d on %q replayed to status %d (%s)", r.Op, r.Name, resp.Status, resp.Msg)
+							} else if (r.Op == OpMapDelete || r.Op == OpQueuePop) && !resp.Found {
+								divergence[slot] = fmt.Errorf("op %d on %q found nothing on replay", r.Op, r.Name)
+							}
+						}
+					}
+				}
+			}
+			if blocks <= 1 {
+				apply(c, 0, order)
+				return nil
+			}
+			fns := make([]func(*pnstm.Ctx), blocks)
+			for g := 0; g < blocks; g++ {
+				g := g
+				lo, hi := g*len(order)/blocks, (g+1)*len(order)/blocks
+				keys := order[lo:hi]
+				fns[g] = func(c *pnstm.Ctx) {
+					_ = c.Atomic(func(c *pnstm.Ctx) error {
+						apply(c, g, keys)
+						return nil
+					})
+				}
+			}
+			c.Parallel(fns...)
+			return nil
+		})
+	})
+	if runErr != nil {
+		return runErr
+	}
+	for _, err := range divergence {
+		if err != nil {
+			return fmt.Errorf("server: replay diverged: %w", err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------------
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(buf, v)
+}
+
+// encodeImage renders a registry export as the snapshot payload
+// (deterministically: names and keys sorted), reusing the protocol's
+// length-prefixed primitives.
+func encodeImage(img *stmlib.RegistryImage) []byte {
+	var buf []byte
+	mapNames := sortedKeys(img.Maps)
+	buf = appendU32(buf, uint32(len(mapNames)))
+	for _, name := range mapNames {
+		buf = appendU16Str(buf, name)
+		entries := img.Maps[name]
+		keys := sortedKeys(entries)
+		buf = appendU32(buf, uint32(len(keys)))
+		for _, k := range keys {
+			buf = appendU16Str(buf, k)
+			buf = appendU32Bytes(buf, entries[k])
+		}
+	}
+	queueNames := sortedKeys(img.Queues)
+	buf = appendU32(buf, uint32(len(queueNames)))
+	for _, name := range queueNames {
+		buf = appendU16Str(buf, name)
+		elems := img.Queues[name]
+		buf = appendU32(buf, uint32(len(elems)))
+		for _, v := range elems {
+			buf = appendU32Bytes(buf, v)
+		}
+	}
+	counterNames := sortedKeys(img.Counters)
+	buf = appendU32(buf, uint32(len(counterNames)))
+	for _, name := range counterNames {
+		buf = appendU16Str(buf, name)
+		buf = appendI64(buf, img.Counters[name])
+	}
+	return buf
+}
+
+// decodeImage parses a snapshot payload.
+func decodeImage(data []byte) (*stmlib.RegistryImage, error) {
+	c := &cursor{b: data}
+	img := &stmlib.RegistryImage{
+		Maps:     make(map[string]map[string][]byte),
+		Queues:   make(map[string][][]byte),
+		Counters: make(map[string]int64),
+	}
+	for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+		name := c.str16()
+		entries := make(map[string][]byte)
+		for j, m := 0, int(c.u32()); j < m && c.err == nil; j++ {
+			k := c.str16()
+			entries[k] = c.bytes32()
+		}
+		img.Maps[name] = entries
+	}
+	for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+		name := c.str16()
+		var elems [][]byte
+		for j, m := 0, int(c.u32()); j < m && c.err == nil; j++ {
+			elems = append(elems, c.bytes32())
+		}
+		img.Queues[name] = elems
+	}
+	for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+		name := c.str16()
+		img.Counters[name] = c.i64()
+	}
+	if err := c.done(); err != nil {
+		return nil, fmt.Errorf("server: snapshot: %w", err)
+	}
+	return img, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ---------------------------------------------------------------------------
+// Recovery and checkpointing
+// ---------------------------------------------------------------------------
+
+// recover rebuilds the store from the data directory: import the
+// newest snapshot, then replay the WAL tail batch by batch. Open has
+// already truncated any torn or CRC-corrupt tail, so replay sees only
+// durable, intact records.
+func (s *Server) recoverStore() error {
+	if data, lsn, ok := s.wal.Snapshot(); ok {
+		img, err := decodeImage(data)
+		if err != nil {
+			return err
+		}
+		if err := s.rt.Run(func(c *pnstm.Ctx) { s.reg.Import(c, img) }); err != nil {
+			return fmt.Errorf("server: restore snapshot: %w", err)
+		}
+	} else if lsn > 0 {
+		// The log says a snapshot covers lsn 1..N but its payload will
+		// not load: replaying only the tail would be the missing-prefix
+		// corruption. Refuse to serve divergent state.
+		return fmt.Errorf("server: snapshot covering lsn %d exists but failed to load; refusing to recover without it", lsn)
+	}
+	return s.wal.Replay(func(lsn uint64, body []byte) error {
+		reqs, err := decodeBatch(body)
+		if err != nil {
+			return fmt.Errorf("server: wal lsn %d: %w", lsn, err)
+		}
+		if err := replayBatch(s.rt, s.reg, s.cfg.BatchFanout, reqs); err != nil {
+			return fmt.Errorf("server: replay lsn %d: %w", lsn, err)
+		}
+		return nil
+	})
+}
+
+// Checkpoint captures a whole-store snapshot bound to the current WAL
+// tail and persists it, letting the covered log segments be truncated.
+// It holds the group-commit slot while the image is captured, so the
+// snapshot is exactly the state after the last logged batch; the pause
+// is one parallel-nested bulk read — the paper's mechanism keeping the
+// stop-the-world window short — and encoding/writing happen after the
+// slot is released (D22). No-op without a data directory.
+func (s *Server) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	// Idle store: the newest snapshot already covers the whole log, so a
+	// new one would be byte-identical. Skip the export and the fsync.
+	// (The unguarded reads race with a concurrent batch at worst into
+	// one redundant or one deferred checkpoint; the next tick settles.)
+	if st := s.wal.Stats(); st.TailLSN == st.SnapshotLSN {
+		return nil
+	}
+	s.b.inflight <- struct{}{} // pause group commits (MaxInflight is 1 with WAL on)
+	lsn := s.wal.TailLSN()
+	var img *stmlib.RegistryImage
+	err := s.rt.Run(func(c *pnstm.Ctx) { img = s.reg.Export(c) })
+	<-s.b.inflight
+	if err != nil {
+		return fmt.Errorf("server: checkpoint export: %w", err)
+	}
+	return s.wal.WriteSnapshot(encodeImage(img), lsn)
+}
+
+// checkpointLoop runs Checkpoint on the configured cadence until Close.
+func (s *Server) checkpointLoop(every time.Duration) {
+	defer close(s.ckDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Checkpoint(); err != nil {
+				// A failed checkpoint costs only replay time; the WAL still
+				// holds everything. Keep serving.
+				continue
+			}
+		case <-s.ckStop:
+			return
+		}
+	}
+}

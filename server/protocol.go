@@ -196,6 +196,13 @@ func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 		buf = appendU16Str(buf, co.Revenue)
 		buf = appendI64(buf, co.Cents)
 	}
+	// Per-field limits cannot bound the sum (a many-line checkout can
+	// pass each check yet overflow the frame), so enforce the total
+	// here: a frame the peer would reject — tearing down the whole
+	// pipelined connection — must not leave this side.
+	if n := len(buf) - start - 4; n > MaxFrame {
+		return buf[:start], fmt.Errorf("server: request encodes to %d bytes, exceeding frame limit %d", n, MaxFrame)
+	}
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf, nil
 }

@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pnstm"
+	"pnstm/internal/wal"
 	"pnstm/stmlib"
 )
 
@@ -65,6 +67,30 @@ type Config struct {
 
 	// Registry sizes the named structures (zero = stmlib defaults).
 	Registry stmlib.RegistryConfig
+
+	// DataDir enables durability: a segmented write-ahead log plus
+	// periodic whole-store snapshots live there, and New recovers the
+	// store from them before serving. Empty: in-memory only. Enabling
+	// the WAL forces MaxInflight to 1 — the log records each batch in
+	// root-commit order, and pipelined batches would need a commit-order
+	// sequencer to keep the durable order honest (D20).
+	DataDir string
+
+	// Fsync makes the WAL fsync once per group commit, before any
+	// response of the batch is acked. Off, appends stop at the OS page
+	// cache: a process crash is safe, a machine crash is not. Ignored
+	// without DataDir.
+	Fsync bool
+
+	// SnapshotEvery starts a background checkpointer writing a snapshot
+	// (and truncating covered WAL segments) on that cadence. Zero: no
+	// automatic checkpoints (Server.Checkpoint still works). Ignored
+	// without DataDir.
+	SnapshotEvery time.Duration
+
+	// WALSegmentBytes is the WAL's segment-rotation threshold (zero:
+	// the wal package default, 64 MiB). Ignored without DataDir.
+	WALSegmentBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -80,7 +106,7 @@ func (c *Config) fillDefaults() {
 	if c.BatchFanout <= 0 {
 		c.BatchFanout = c.Workers
 	}
-	if c.MaxInflight <= 0 || c.Serial {
+	if c.MaxInflight <= 0 || c.Serial || c.DataDir != "" {
 		c.MaxInflight = 1
 	}
 }
@@ -98,6 +124,11 @@ type ServerStats struct {
 	LargestBatch  uint64      `json:"largest_batch"`
 	Runtime       pnstm.Stats `json:"runtime"`
 	RuntimeAborts float64     `json:"runtime_abort_ratio"`
+
+	// WAL is present when the server runs with a data directory; its
+	// Syncs counter is the group-commit durability invariant — one fsync
+	// per logged batch, however many requests the batch carried.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // Server owns the listener, the runtime, the structure registry and the
@@ -108,6 +139,10 @@ type Server struct {
 	rt  *pnstm.Runtime
 	reg *stmlib.Registry
 	b   *batcher
+	wal *wal.Log // nil without DataDir
+
+	ckStop chan struct{} // non-nil when the checkpointer runs
+	ckDone chan struct{}
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -116,8 +151,10 @@ type Server struct {
 	closed atomic.Bool
 }
 
-// New creates a server (runtime, registry, batcher) without touching the
-// network yet.
+// New creates a server (runtime, registry, batcher) without touching
+// the network yet. With Config.DataDir set it also opens the
+// write-ahead log and recovers the store — snapshot import plus WAL
+// tail replay — before returning.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	rt, err := pnstm.New(pnstm.Config{Workers: cfg.Workers, Serial: cfg.Serial, SharedReads: cfg.SharedReads})
@@ -125,13 +162,41 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	reg := stmlib.NewRegistry(cfg.Registry)
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		rt:    rt,
 		reg:   reg,
-		b:     newBatcher(rt, reg, cfg.MaxBatch, cfg.BatchFanout, cfg.MaxInflight, cfg.BatchDelay),
 		conns: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if cfg.DataDir != "" {
+		wl, err := wal.Open(wal.Options{Dir: cfg.DataDir, Fsync: cfg.Fsync, SegmentBytes: cfg.WALSegmentBytes})
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		s.wal = wl
+		if err := s.recoverStore(); err != nil {
+			wl.Close()
+			rt.Close()
+			return nil, err
+		}
+	}
+	s.b = newBatcher(rt, reg, s.wal, cfg.MaxBatch, cfg.BatchFanout, cfg.MaxInflight, cfg.BatchDelay)
+	if s.wal != nil && cfg.SnapshotEvery > 0 {
+		s.ckStop = make(chan struct{})
+		s.ckDone = make(chan struct{})
+		go s.checkpointLoop(cfg.SnapshotEvery)
+	}
+	return s, nil
+}
+
+// WALStats snapshots the log's counters (nil-safe zero value without a
+// data directory).
+func (s *Server) WALStats() wal.Stats {
+	if s.wal == nil {
+		return wal.Stats{}
+	}
+	return s.wal.Stats()
 }
 
 // Runtime exposes the underlying runtime (in-process embedding, tests).
@@ -193,14 +258,73 @@ func (s *Server) ListenAndServe() error {
 	return s.Serve()
 }
 
-// Close stops accepting, tears down connections, stops the batcher and
-// closes the runtime. Idempotent.
+// Close shuts down gracefully: stop accepting, stop the checkpointer,
+// flush the batcher — every in-flight batch executes, logs and
+// delivers its responses — then issue the WAL's final fsync, and only
+// then tear down connections and the runtime. Every response acked
+// before Close returns is durable (with Fsync it already was, batch by
+// batch). Idempotent.
 func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
 	if s.ln != nil {
 		s.ln.Close()
+	}
+	if s.ckStop != nil {
+		close(s.ckStop)
+		<-s.ckDone
+	}
+	// Flush before the teardown: connections stay up so in-flight
+	// batches can still deliver their acks. A client that has stopped
+	// reading could otherwise wedge that flush via TCP backpressure
+	// (blocked writer -> full response queue -> blocked deliver), so
+	// bound every remaining write first: healthy clients drain well
+	// inside the deadline, stalled ones fail their writer and stop
+	// absorbing deliveries.
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	}
+	s.mu.Unlock()
+	s.b.close()
+	if s.wal != nil {
+		// With Fsync off this final sync is the ONLY point acked writes
+		// reach stable storage, so a failure here must not masquerade as
+		// a clean shutdown.
+		if err := s.wal.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "server: final wal fsync failed — acked writes may not be durable: %v\n", err)
+		}
+		if err := s.wal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "server: wal close: %v\n", err)
+		}
+	}
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.rt.Close()
+}
+
+// Kill is the crash hook for recovery tests: it abandons the WAL
+// without flushing and tears everything down immediately, losing
+// whatever a real SIGKILL would lose (nothing acked, when Fsync is on).
+// Idempotent with Close.
+func (s *Server) Kill() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.ckStop != nil {
+		close(s.ckStop)
+		<-s.ckDone
+	}
+	if s.wal != nil {
+		s.wal.Abandon() // in-flight appends now fail; nothing more reaches disk
 	}
 	s.mu.Lock()
 	for nc := range s.conns {
@@ -219,7 +343,13 @@ func (s *Server) Stats() ServerStats {
 	conns := len(s.conns)
 	s.mu.Unlock()
 	rts := s.rt.Stats()
+	var ws *wal.Stats
+	if s.wal != nil {
+		st := s.wal.Stats()
+		ws = &st
+	}
 	return ServerStats{
+		WAL:           ws,
 		Workers:       uint64(s.cfg.Workers),
 		MaxBatch:      uint64(s.cfg.MaxBatch),
 		Serial:        s.cfg.Serial,

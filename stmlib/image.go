@@ -1,0 +1,136 @@
+package stmlib
+
+import (
+	"pnstm"
+)
+
+// RegistryImage is a consistent point-in-time copy of every named
+// structure in a Registry — the logical payload of a whole-store
+// checkpoint. Map values and queue elements alias the store's immutable
+// byte slices; treat the image as read-only.
+type RegistryImage struct {
+	Maps     map[string]map[string][]byte
+	Queues   map[string][][]byte
+	Counters map[string]int64
+}
+
+// Export captures the whole catalog as one atomic bulk read. It is the
+// paper's nested-parallel shape applied to checkpointing: the export is
+// a single (sub)transaction, whose children — one per structure group,
+// forked via Ctx.Parallel — each run the structure's own parallel bulk
+// read (TMap.Snapshot over bucket groups, TQueue.Elements, TCounter.Sum
+// over stripe groups). The store pauses for one big atomic read whose
+// latency shrinks with the worker count, instead of a long serial scan.
+//
+// Concurrent non-ancestor transactions serialize against the export
+// like against any bulk read, so the image is a consistent cut.
+func (r *Registry) Export(c *pnstm.Ctx) *RegistryImage {
+	mapNames, queueNames, counterNames := r.Names()
+	img := &RegistryImage{
+		Maps:     make(map[string]map[string][]byte, len(mapNames)),
+		Queues:   make(map[string][][]byte, len(queueNames)),
+		Counters: make(map[string]int64, len(counterNames)),
+	}
+	// Parallel children each own a disjoint slice of these result
+	// arrays; the shared img maps are assembled only after the join.
+	mapOut := make([]map[string][]byte, len(mapNames))
+	queueOut := make([][][]byte, len(queueNames))
+	counterOut := make([]int64, len(counterNames))
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		// One task per structure; tasks are spread over ≤ fanout parallel
+		// children, mirroring the bucket-group idiom. Each task's bulk
+		// read forks further nested children of its group's transaction.
+		var tasks []func(*pnstm.Ctx)
+		for i, name := range mapNames {
+			i, name := i, name
+			tasks = append(tasks, func(c *pnstm.Ctx) { mapOut[i] = r.Map(name).Snapshot(c) })
+		}
+		for i, name := range queueNames {
+			i, name := i, name
+			tasks = append(tasks, func(c *pnstm.Ctx) { queueOut[i] = r.Queue(name).Elements(c) })
+		}
+		for i, name := range counterNames {
+			i, name := i, name
+			tasks = append(tasks, func(c *pnstm.Ctx) { counterOut[i] = r.Counter(name).Sum(c) })
+		}
+		parallelTasks(c, r.fanout, tasks)
+		return nil
+	})
+	for i, name := range mapNames {
+		img.Maps[name] = mapOut[i]
+	}
+	for i, name := range queueNames {
+		img.Queues[name] = queueOut[i]
+	}
+	for i, name := range counterNames {
+		img.Counters[name] = counterOut[i]
+	}
+	return img
+}
+
+// Import loads an exported image into the registry as one atomic step,
+// fanned out over parallel children like Export. It is meant for boot:
+// recovery materializes the snapshot into a fresh catalog before WAL
+// replay. Importing into a non-empty registry merges: map entries
+// overwrite by key, queue elements append in image order, counter
+// totals add.
+func (r *Registry) Import(c *pnstm.Ctx, img *RegistryImage) {
+	if img == nil {
+		return
+	}
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		var tasks []func(*pnstm.Ctx)
+		for name, entries := range img.Maps {
+			m, entries := r.Map(name), entries
+			tasks = append(tasks, func(c *pnstm.Ctx) {
+				keys := make([]string, 0, len(entries))
+				for k := range entries {
+					keys = append(keys, k)
+				}
+				// BulkUpdate re-groups the keys by bucket group and forks
+				// the map's own nested children.
+				m.BulkUpdate(c, keys, func(k string, _ []byte, _ bool) ([]byte, bool) {
+					return entries[k], true
+				})
+			})
+		}
+		for name, elems := range img.Queues {
+			q, elems := r.Queue(name), elems
+			tasks = append(tasks, func(c *pnstm.Ctx) { q.PushAll(c, elems...) })
+		}
+		for name, total := range img.Counters {
+			cnt, total := r.Counter(name), total
+			tasks = append(tasks, func(c *pnstm.Ctx) {
+				if total != 0 {
+					cnt.Add(c, total)
+				}
+			})
+		}
+		parallelTasks(c, r.fanout, tasks)
+		return nil
+	})
+}
+
+// parallelTasks spreads tasks over at most fanout parallel nested
+// children (the bucket-group idiom): each child runs its contiguous
+// slice of tasks sequentially inside its own transaction. Must be
+// called from inside an Atomic.
+func parallelTasks(c *pnstm.Ctx, fanout int, tasks []func(*pnstm.Ctx)) {
+	if len(tasks) == 0 {
+		return
+	}
+	bounds := groupBounds(len(tasks), fanout)
+	fns := make([]func(*pnstm.Ctx), len(bounds)-1)
+	for g := range fns {
+		g := g
+		fns[g] = func(c *pnstm.Ctx) {
+			_ = c.Atomic(func(c *pnstm.Ctx) error {
+				for i := bounds[g]; i < bounds[g+1]; i++ {
+					tasks[i](c)
+				}
+				return nil
+			})
+		}
+	}
+	c.Parallel(fns...)
+}

@@ -108,6 +108,31 @@ func (q *TQueue[T]) Len(c *pnstm.Ctx) int {
 	return n
 }
 
+// Elements returns every queued element in FIFO order without removing
+// anything — the queue's drain-view, the bulk read a whole-store
+// checkpoint serializes. One nested transaction reads both stacks, so
+// the view is a consistent atomic snapshot like TMap.Snapshot.
+func (q *TQueue[T]) Elements(c *pnstm.Ctx) []T {
+	var out []T
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		out = out[:0]
+		// The out-stack already holds the oldest elements front-first.
+		for n := pnstm.Load(c, q.out); n != nil; n = n.next {
+			out = append(out, n.v)
+		}
+		// The in-stack holds the newest pushes newest-first: reverse.
+		var newest []T
+		for n := pnstm.Load(c, q.in); n != nil; n = n.next {
+			newest = append(newest, n.v)
+		}
+		for i := len(newest) - 1; i >= 0; i-- {
+			out = append(out, newest[i])
+		}
+		return nil
+	})
+	return out
+}
+
 // flip returns the current out-stack head, reversing the in-stack into
 // the out-stack first if the out-stack is empty. Caller must be inside an
 // Atomic.
