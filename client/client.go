@@ -9,6 +9,12 @@
 // callers pipeline naturally — and on the server side, concurrent
 // requests are what the group-commit batcher coalesces into one root
 // transaction with a parallel nested child per request.
+//
+// Sharding is transparent to the client: a pnstmd running with -shards
+// routes each request to its structure's shard server-side, answers
+// counter reads with the cross-shard total, and responses still match
+// by id whatever shard they committed on. Stats() exposes the
+// per-shard breakdown via ServerStats.PerShard.
 package client
 
 import (

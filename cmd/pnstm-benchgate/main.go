@@ -1,0 +1,113 @@
+// Command pnstm-benchgate is the CI benchmark-regression gate: it
+// compares a freshly produced BENCH_*.json report against a committed
+// baseline and exits nonzero when a tracked metric dropped more than
+// the allowed fraction.
+//
+// Usage:
+//
+//	pnstm-benchgate -baseline BENCH_baseline.json \
+//	    -report BENCH_loadgen-mixed.json \
+//	    -metric throughput_per_sec -max-drop 0.20
+//
+// Repeat -metric to gate several metrics of one report; every tracked
+// metric must be present in both files. A metric passes when
+//
+//	report ≥ baseline × (1 − max-drop)
+//
+// i.e. all gated metrics are higher-is-better (throughputs, speedup
+// ratios). The baseline is a committed floor, deliberately conservative
+// so runner-to-runner variance does not flap the gate; when a PR trades
+// throughput away on purpose, re-baseline in the same PR (or use the
+// workflow's documented override label) rather than loosening max-drop.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report is the slice of bench.Report this tool needs; decoding locally
+// keeps the gate free of the benchmark encoder's dependencies.
+type report struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type metricList []string
+
+func (m *metricList) String() string     { return fmt.Sprint(*m) }
+func (m *metricList) Set(v string) error { *m = append(*m, v); return nil }
+
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Metrics) == 0 {
+		return nil, fmt.Errorf("%s: no metrics", path)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+		reportPath   = flag.String("report", "", "freshly produced report to gate")
+		maxDrop      = flag.Float64("max-drop", 0.20, "largest tolerated fractional drop vs baseline")
+		metrics      metricList
+	)
+	flag.Var(&metrics, "metric", "metric key to gate (repeatable)")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pnstm-benchgate: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *reportPath == "" {
+		fail("-report is required")
+	}
+	if len(metrics) == 0 {
+		fail("at least one -metric is required")
+	}
+	if *maxDrop < 0 || *maxDrop >= 1 {
+		fail("-max-drop must be in [0,1), got %v", *maxDrop)
+	}
+	base, err := loadReport(*baselinePath)
+	if err != nil {
+		fail("baseline: %v", err)
+	}
+	rep, err := loadReport(*reportPath)
+	if err != nil {
+		fail("report: %v", err)
+	}
+
+	regressed := 0
+	for _, key := range metrics {
+		want, ok := base.Metrics[key]
+		if !ok {
+			fail("baseline %s has no metric %q", *baselinePath, key)
+		}
+		got, ok := rep.Metrics[key]
+		if !ok {
+			fail("report %s has no metric %q", *reportPath, key)
+		}
+		floor := want * (1 - *maxDrop)
+		status := "ok"
+		if got < floor {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-32s baseline %12.2f  floor %12.2f  got %12.2f  %s\n", key, want, floor, got, status)
+	}
+	if regressed > 0 {
+		fail("%d of %d gated metrics regressed more than %.0f%% vs %s",
+			regressed, len(metrics), *maxDrop*100, *baselinePath)
+	}
+	fmt.Printf("pnstm-benchgate: %d metric(s) within %.0f%% of baseline\n", len(metrics), *maxDrop*100)
+}

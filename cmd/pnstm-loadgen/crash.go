@@ -40,8 +40,10 @@ type crashTally struct {
 }
 
 // runCrash drives the crash-recovery drill; returns an error when load
-// could not run or any invariant fails.
-func runCrash(cfg genCfg, workers, maxBatch int, dataDir string, killAfter time.Duration, jsonDir, name string) error {
+// could not run or any invariant fails. With shards > 1 the drilled
+// server runs that many engine partitions, each with its own WAL —
+// recovery must replay every shard's log.
+func runCrash(cfg genCfg, workers, maxBatch, shards int, dataDir string, killAfter time.Duration, jsonDir, name string) error {
 	if dataDir == "" {
 		tmp, err := os.MkdirTemp("", "pnstm-crash-")
 		if err != nil {
@@ -58,6 +60,7 @@ func runCrash(cfg genCfg, workers, maxBatch int, dataDir string, killAfter time.
 	}
 	scfg := server.Config{
 		Addr:     "127.0.0.1:0",
+		Shards:   shards,
 		Workers:  workers,
 		MaxBatch: maxBatch,
 		DataDir:  dataDir,
@@ -168,8 +171,10 @@ func runCrash(cfg genCfg, workers, maxBatch int, dataDir string, killAfter time.
 	}
 	defer cl2.Close()
 
+	// On a sharded server WALStats sums per-shard figures, so these are
+	// record totals across all logs, not single log positions.
 	ws := s2.WALStats()
-	fmt.Printf("== recovered: snapshot lsn %d, %d wal records, tail lsn %d\n",
+	fmt.Printf("== recovered: %d snapshot-covered records, %d wal records, %d durable records\n",
 		ws.SnapshotLSN, ws.RecoveredRecords, ws.TailLSN)
 
 	violations, recovered := verifyCrashRecovery(cl2, cfg, tally)
@@ -191,6 +196,7 @@ func runCrash(cfg genCfg, workers, maxBatch int, dataDir string, killAfter time.
 				"kill_after":  killAfter.String(),
 				"workers":     workers,
 				"max_batch":   maxBatch,
+				"shards":      shards,
 				"concurrency": cfg.concurrency,
 				"skus":        cfg.skus,
 				"stock":       cfg.stockPer,

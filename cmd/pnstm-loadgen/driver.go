@@ -76,6 +76,7 @@ type genResult struct {
 	reqDelta    uint64
 	runtimeUsed server.ServerStats // the after snapshot
 	runtimeStat serverDelta
+	perShard    []shardDelta // per-partition activity (sharded servers)
 }
 
 // serverDelta is the server-side activity attributable to the run.
@@ -84,6 +85,14 @@ type serverDelta struct {
 	abortRatio float64
 	committed  uint64
 	aborted    uint64
+}
+
+// shardDelta is one shard's slice of the run's server-side activity.
+type shardDelta struct {
+	shard              int
+	batches, requests  uint64
+	committed, aborted uint64
+	abortRatio         float64
 }
 
 func (r *genResult) throughput() float64 {
@@ -475,6 +484,21 @@ func runLoad(cl *client.Client, cfg genCfg) (*genResult, error) {
 			}
 			if res.batchDelta > 0 {
 				res.runtimeStat.meanBatch = float64(res.reqDelta) / float64(res.batchDelta)
+			}
+			for i, sh := range after.PerShard {
+				var prev server.ShardStats
+				if i < len(before.PerShard) {
+					prev = before.PerShard[i]
+				}
+				srd := sh.Runtime.Sub(prev.Runtime)
+				res.perShard = append(res.perShard, shardDelta{
+					shard:      sh.Shard,
+					batches:    sh.Batches - prev.Batches,
+					requests:   sh.Requests - prev.Requests,
+					committed:  srd.Committed,
+					aborted:    srd.Aborted,
+					abortRatio: srd.AbortRate(),
+				})
 			}
 		}
 	}

@@ -21,6 +21,9 @@
 //	        group commit (batched) vs batch-size-1 serial execution
 //	pnstm-loadgen -compare -persist -workload counter -json .
 //	        # persistence overhead A/B: in-memory vs WAL vs WAL+fsync
+//	pnstm-loadgen -compare -shards 4 -syncdelay 2ms -min-shard-speedup 1.5
+//	        # shard-scaling A/B: 1-shard vs 4-shard durable server —
+//	        # parallel per-shard group-commit pipelines, fsyncs included
 //	pnstm-loadgen -kill-after 3s -json .    # crash-recovery drill:
 //	        hard-kill an embedded durable server mid-load, restart it on
 //	        the same data dir, verify the recovered invariants
@@ -65,6 +68,9 @@ func main() {
 		compareBatch = flag.Int("comparebatch", 64, "compare mode: MaxBatch of the batched server")
 		workers      = flag.Int("workers", 8, "compare/crash mode: worker slots of the embedded servers")
 		persist      = flag.Bool("persist", false, "with -compare: persistence-overhead A/B — in-memory vs WAL (no fsync) vs WAL (fsync per group commit)")
+		shards       = flag.Int("shards", 1, "with -compare: shard-scaling A/B — 1-shard vs N-shard durable server, parallel per-shard group commits; with -kill-after: shard count of the crashed server")
+		syncDelay    = flag.Duration("syncdelay", 0, "shard compare: artificial per-fsync latency floor (simulates slower stable storage so the pipeline count dominates)")
+		minSpeedup   = flag.Float64("min-shard-speedup", 0, "shard compare: fail unless N-shard throughput ≥ this multiple of 1-shard (0: report only)")
 		killAfter    = flag.Duration("kill-after", 0, "crash-recovery drill: hard-kill an embedded durable server after this long under load, restart, verify invariants")
 		dataDir      = flag.String("data-dir", "", "crash mode: data directory to crash and recover on (empty: a temp dir)")
 		recoveryChk  = flag.Bool("recovery-check", false, "verify a restarted pnstmd at -addr holds the recovered-store invariants (conservation, no oversell)")
@@ -103,7 +109,15 @@ func main() {
 	}
 
 	if *killAfter > 0 {
-		if err := runCrash(cfg, *workers, *compareBatch, *dataDir, *killAfter, *jsonDir, *name); err != nil {
+		if err := runCrash(cfg, *workers, *compareBatch, *shards, *dataDir, *killAfter, *jsonDir, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *compare && *shards > 1 {
+		if err := runShardCompare(cfg, *workers, *compareBatch, *shards, *syncDelay, *minSpeedup, *jsonDir, *name); err != nil {
 			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -167,6 +181,12 @@ func printResult(cfg genCfg, res *genResult) {
 		fmt.Printf("server: %d batches, mean batch %.2f, abort ratio %.4f\n",
 			res.batchDelta, res.runtimeStat.meanBatch, res.runtimeStat.abortRatio)
 	}
+	if len(res.perShard) > 1 {
+		for _, sh := range res.perShard {
+			fmt.Printf("  shard %d: batches=%d requests=%d committed=%d abort ratio %.4f\n",
+				sh.shard, sh.batches, sh.requests, sh.committed, sh.abortRatio)
+		}
+	}
 	for _, v := range res.violations {
 		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATED: %s\n", v)
 	}
@@ -216,6 +236,14 @@ func buildReport(cfg genCfg, res *genResult, name string) *bench.Report {
 		rep.Config["server_max_batch"] = res.runtimeUsed.MaxBatch
 		rep.Config["server_workers"] = res.runtimeUsed.Workers
 		rep.Config["server_serial"] = res.runtimeUsed.Serial
+		rep.Config["server_shards"] = res.runtimeUsed.Shards
+		if len(res.perShard) > 1 {
+			for _, sh := range res.perShard {
+				metrics[fmt.Sprintf("shard%d_batches", sh.shard)] = float64(sh.batches)
+				metrics[fmt.Sprintf("shard%d_requests", sh.shard)] = float64(sh.requests)
+				metrics[fmt.Sprintf("shard%d_abort_ratio", sh.shard)] = sh.abortRatio
+			}
+		}
 	}
 	if len(res.violations) == 0 {
 		rep.Notes = append(rep.Notes, "invariants ok")

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pnstm/client"
+	"pnstm/internal/bench"
+	"pnstm/server"
+	"pnstm/stmlib"
+)
+
+// Shard-scaling A/B (-compare -shards N): the same workload against a
+// 1-shard and an N-shard durable server, both fsyncing once per group
+// commit. With one shard every group commit rides ONE pipeline — batch,
+// log record, fsync, ack, next batch — so commit latency bounds
+// throughput however many cores the box has. With N shards each
+// partition owns a private runtime, batcher and WAL, so N group commits
+// (fsyncs included) run fully in parallel and throughput scales with
+// the pipeline count until the disk or the cores saturate.
+//
+// -syncdelay adds an artificial latency floor to every fsync
+// (wal.Options.SyncDelay): it simulates slower stable storage
+// deterministically, which makes the pipeline count — not the test
+// box's disk speed — the measured variable. With it the expected ratio
+// is ≈ min(N, concurrency/batch-formation); -min-shard-speedup turns
+// the measurement into a pass/fail gate for CI.
+func runShardCompare(cfg genCfg, workers, maxBatch, shards int, syncDelay time.Duration, minSpeedup float64, jsonDir, name string) error {
+	type mode struct {
+		label  string
+		shards int
+	}
+	modes := []mode{
+		{"shards-1", 1},
+		{fmt.Sprintf("shards-%d", shards), shards},
+	}
+	reg := stmlib.RegistryConfig{MapBuckets: 4 * cfg.keys}
+	results := make(map[string]*genResult, len(modes))
+	fsyncs := make(map[string]float64, len(modes))
+	for _, m := range modes {
+		dir, err := os.MkdirTemp("", "pnstm-shards-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		s, err := server.New(server.Config{
+			Addr:         "127.0.0.1:0",
+			Shards:       m.shards,
+			Workers:      workers,
+			MaxBatch:     maxBatch,
+			SharedReads:  true,
+			Registry:     reg,
+			DataDir:      dir,
+			Fsync:        true,
+			WALSyncDelay: syncDelay,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.Listen(); err != nil {
+			return err
+		}
+		go s.Serve() //nolint:errcheck // torn down via Close below
+		cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+		if err != nil {
+			s.Close()
+			return err
+		}
+		fmt.Printf("== %s (workers=%d/shard batch=%d fsync=on syncdelay=%v)\n", m.label, workers, maxBatch, syncDelay)
+		res, err := runLoad(cl, cfg)
+		fsyncs[m.label] = float64(s.WALStats().Syncs)
+		cl.Close()
+		s.Close()
+		if err != nil {
+			return err
+		}
+		printResult(cfg, res)
+		results[m.label] = res
+	}
+
+	single, sharded := results["shards-1"], results[modes[1].label]
+	speedup := 0.0
+	if single.throughput() > 0 {
+		speedup = sharded.throughput() / single.throughput()
+	}
+	fmt.Printf("== %d-shard vs 1-shard group commit: %.2fx throughput (%d parallel commit pipelines)\n",
+		shards, speedup, shards)
+
+	if jsonDir != "" {
+		if name == "" {
+			name = "loadgen-" + cfg.workload + "-shards"
+		}
+		metrics := map[string]float64{
+			"single_throughput_per_sec":  single.throughput(),
+			"sharded_throughput_per_sec": sharded.throughput(),
+			"shard_speedup_ratio":        speedup,
+			"single_ops":                 float64(single.ops),
+			"sharded_ops":                float64(sharded.ops),
+			"single_wal_fsyncs":          fsyncs["shards-1"],
+			"sharded_wal_fsyncs":         fsyncs[modes[1].label],
+		}
+		for _, sh := range sharded.perShard {
+			metrics[fmt.Sprintf("shard%d_batches", sh.shard)] = float64(sh.batches)
+			metrics[fmt.Sprintf("shard%d_requests", sh.shard)] = float64(sh.requests)
+		}
+		for k, v := range bench.LatencyMetrics(sharded.latencies) {
+			metrics["sharded_"+k] = v
+		}
+		for k, v := range bench.LatencyMetrics(single.latencies) {
+			metrics["single_"+k] = v
+		}
+		rep := &bench.Report{
+			Name: name,
+			Kind: "loadgen",
+			Config: map[string]any{
+				"workload":    cfg.workload,
+				"concurrency": cfg.concurrency,
+				"conns":       cfg.conns,
+				"duration":    cfg.duration.String(),
+				"workers":     workers,
+				"max_batch":   maxBatch,
+				"shards":      shards,
+				"syncdelay":   syncDelay.String(),
+				"seed":        cfg.seed,
+			},
+			Metrics: metrics,
+		}
+		for _, res := range []*genResult{single, sharded} {
+			if len(res.violations) > 0 {
+				rep.Notes = append(rep.Notes, res.violations...)
+			}
+		}
+		if len(rep.Notes) == 0 {
+			rep.Notes = []string{"invariants ok in both modes"}
+		}
+		path, err := rep.WriteFile(jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", path)
+	}
+	if len(single.violations) > 0 || len(sharded.violations) > 0 || single.errs > 0 || sharded.errs > 0 {
+		return fmt.Errorf("invariant violations or request errors (see above)")
+	}
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("shard scaling regressed: %d shards deliver %.2fx the 1-shard throughput, want ≥ %.2fx", shards, speedup, minSpeedup)
+	}
+	return nil
+}

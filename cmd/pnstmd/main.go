@@ -9,15 +9,24 @@
 //	pnstmd                                  # listen on :7455, batch up to 64
 //	pnstmd -addr :9000 -workers 16 -batch 128 -batchdelay 200us
 //	pnstmd -batch 1 -serial                 # the no-batching serial baseline
+//	pnstmd -shards 4                        # 4 independent commit pipelines
 //	pnstmd -data-dir ./pnstm-data           # durable: WAL + snapshots, crash-safe
+//	pnstmd -data-dir ./pnstm-data -shards 4 # durable AND sharded: parallel fsyncs
 //	pnstmd -data-dir ./pnstm-data -fsync=false -snapshot-every 10s
 //
+// With -shards N the store is split into N engine partitions by
+// structure-name hash: each shard owns its own runtime, registry,
+// group-commit batcher and (with -data-dir) write-ahead log under
+// shard-<i>/, so commits — fsyncs included — on different shards run
+// fully in parallel. The shard count is pinned in the data directory's
+// manifest; reopening with a different count is refused.
+//
 // With -data-dir the server write-ahead-logs every group commit (one
-// fsync per batch), checkpoints the whole store on the -snapshot-every
-// cadence, and on boot recovers snapshot + WAL tail — a restart loses
-// nothing that was acked. SIGINT/SIGTERM shut down gracefully (flush +
-// final fsync) and print the final stats. Drive it with
-// cmd/pnstm-loadgen.
+// fsync per batch, per shard), checkpoints the whole store on the
+// -snapshot-every cadence, and on boot recovers snapshot + WAL tail —
+// every shard concurrently — so a restart loses nothing that was acked.
+// SIGINT/SIGTERM shut down gracefully (flush + final fsync) and print
+// the final stats. Drive it with cmd/pnstm-loadgen.
 package main
 
 import (
@@ -35,7 +44,8 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":7455", "TCP listen address")
-		workers    = flag.Int("workers", 8, "runtime worker slots P (1..32)")
+		shards     = flag.Int("shards", 1, "independent engine partitions (each with its own runtime, batcher and WAL)")
+		workers    = flag.Int("workers", 8, "runtime worker slots P per shard (1..32)")
 		batch      = flag.Int("batch", 64, "max requests per group commit (1 disables grouping)")
 		batchdelay = flag.Duration("batchdelay", 0, "how long a batch waits for stragglers (0: only coalesce what is already in flight)")
 		serial     = flag.Bool("serial", false, "serial-nesting baseline runtime (children run sequentially)")
@@ -47,6 +57,7 @@ func main() {
 		fsync      = flag.Bool("fsync", true, "fsync the WAL once per group commit (with -data-dir)")
 		snapEvery  = flag.Duration("snapshot-every", time.Minute, "background checkpoint cadence (0 disables; with -data-dir)")
 		walSegment = flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0: default 64 MiB)")
+		syncDelay  = flag.Duration("syncdelay", 0, "artificial per-fsync latency floor (benchmark hook simulating slower stable storage, same knob as pnstm-loadgen -syncdelay; with -data-dir -fsync)")
 	)
 	flag.Parse()
 
@@ -58,9 +69,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pnstmd: -batch must be positive, got %d\n", *batch)
 		os.Exit(2)
 	}
+	if *shards < 1 || *shards > 64 {
+		fmt.Fprintf(os.Stderr, "pnstmd: -shards must be in 1..64, got %d\n", *shards)
+		os.Exit(2)
+	}
 
 	s, err := server.New(server.Config{
 		Addr:            *addr,
+		Shards:          *shards,
 		Workers:         *workers,
 		MaxBatch:        *batch,
 		BatchDelay:      *batchdelay,
@@ -70,6 +86,7 @@ func main() {
 		Registry:        stmlib.RegistryConfig{MapBuckets: *buckets, CounterStripes: *stripes},
 		DataDir:         *dataDir,
 		Fsync:           *fsync,
+		WALSyncDelay:    *syncDelay,
 		SnapshotEvery:   *snapEvery,
 		WALSegmentBytes: *walSegment,
 	})
@@ -79,8 +96,8 @@ func main() {
 	}
 	if *dataDir != "" {
 		ws := s.WALStats()
-		fmt.Printf("pnstmd: recovered %s (snapshot lsn %d, %d wal records replayed, tail lsn %d)\n",
-			*dataDir, ws.SnapshotLSN, ws.TailLSN-ws.SnapshotLSN, ws.TailLSN)
+		fmt.Printf("pnstmd: recovered %s across %d shard(s) (snapshot records %d, %d wal records replayed, %d durable records)\n",
+			*dataDir, *shards, ws.SnapshotLSN, ws.TailLSN-ws.SnapshotLSN, ws.TailLSN)
 		if ws.RepairedTail {
 			fmt.Printf("pnstmd: repaired a torn WAL tail (%d segments quarantined)\n", ws.Quarantined)
 		}
@@ -93,8 +110,8 @@ func main() {
 	if *serial {
 		mode = "serial"
 	}
-	fmt.Printf("pnstmd listening on %s (workers=%d batch=%d delay=%v runtime=%s)\n",
-		s.Addr(), *workers, *batch, *batchdelay, mode)
+	fmt.Printf("pnstmd listening on %s (shards=%d workers=%d batch=%d delay=%v runtime=%s)\n",
+		s.Addr(), *shards, *workers, *batch, *batchdelay, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -120,7 +137,13 @@ func main() {
 	fmt.Printf("runtime: begun=%d committed=%d aborted=%d (abort ratio %.4f) escalations=%d\n",
 		st.Runtime.Begun, st.Runtime.Committed, st.Runtime.Aborted, st.RuntimeAborts, st.Runtime.Escalations)
 	if st.WAL != nil {
-		fmt.Printf("wal: records=%d fsyncs=%d snapshots=%d segments=%d tail-lsn=%d\n",
+		fmt.Printf("wal: records=%d fsyncs=%d snapshots=%d segments=%d durable-records=%d\n",
 			st.WAL.Appends, st.WAL.Syncs, st.WAL.Snapshots, st.WAL.Segments, st.WAL.TailLSN)
+	}
+	if len(st.PerShard) > 1 {
+		for _, sh := range st.PerShard {
+			fmt.Printf("shard %d: batches=%d requests=%d mean-batch=%.2f abort-ratio=%.4f\n",
+				sh.Shard, sh.Batches, sh.Requests, sh.MeanBatch, sh.Runtime.AbortRate())
+		}
 	}
 }

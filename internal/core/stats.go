@@ -59,6 +59,38 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// Add returns the counter-by-counter sum s + o — the aggregation used
+// when a store runs several independent runtimes (one per engine shard)
+// and reports one combined activity figure. Every counter is summed, so
+// no aborts or commits are lost in the roll-up; PeakParents is a
+// high-water mark, not a counter, so the aggregate takes the maximum.
+func (s Stats) Add(o Stats) Stats {
+	peak := s.PeakParents
+	if o.PeakParents > peak {
+		peak = o.PeakParents
+	}
+	return Stats{
+		Begun:          s.Begun + o.Begun,
+		Committed:      s.Committed + o.Committed,
+		Aborted:        s.Aborted + o.Aborted,
+		UserAbort:      s.UserAbort + o.UserAbort,
+		Conflicts:      s.Conflicts + o.Conflicts,
+		SpinSaves:      s.SpinSaves + o.SpinSaves,
+		Escalations:    s.Escalations + o.Escalations,
+		Dispatches:     s.Dispatches + o.Dispatches,
+		BorrowDispatch: s.BorrowDispatch + o.BorrowDispatch,
+		InlineChildren: s.InlineChildren + o.InlineChildren,
+		SerializedFork: s.SerializedFork + o.SerializedFork,
+		Handoffs:       s.Handoffs + o.Handoffs,
+		SlotYields:     s.SlotYields + o.SlotYields,
+		SelfDiscards:   s.SelfDiscards + o.SelfDiscards,
+		RemoteDiscards: s.RemoteDiscards + o.RemoteDiscards,
+		BorrowSwitches: s.BorrowSwitches + o.BorrowSwitches,
+		PeakParents:    peak,
+		HelpPublishes:  s.HelpPublishes + o.HelpPublishes,
+	}
+}
+
 // AbortRate returns the fraction of started transactions that aborted on
 // a conflict (retries count as fresh starts). Zero when nothing ran.
 func (s Stats) AbortRate() float64 {

@@ -1,0 +1,69 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadManifest(dir); err != nil || ok {
+		t.Fatalf("fresh dir: ok=%v err=%v, want absent", ok, err)
+	}
+	want := Manifest{Version: 1, Shards: 4}
+	if err := WriteManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadManifest(dir)
+	if err != nil || !ok || got != want {
+		t.Fatalf("ReadManifest = %+v,%v,%v want %+v", got, ok, err, want)
+	}
+	// Overwrite is atomic (tmp+rename): no .tmp litter remains.
+	if err := WriteManifest(dir, Manifest{Version: 1, Shards: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName+".tmp")); !os.IsNotExist(err) {
+		t.Errorf("tmp manifest left behind: %v", err)
+	}
+	if got, _, _ := ReadManifest(dir); got.Shards != 8 {
+		t.Errorf("overwritten manifest reads %+v", got)
+	}
+}
+
+func TestManifestRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadManifest(dir); err == nil {
+		t.Error("corrupt manifest did not error")
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(`{"version":1,"shards":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadManifest(dir); err == nil {
+		t.Error("zero-shard manifest did not error")
+	}
+}
+
+// TestManifestIgnoredBySegmentScan: the manifest lives in the same
+// directory as a single-shard store's segments and must be invisible to
+// Open's scan.
+func TestManifestIgnoredBySegmentScan(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteManifest(dir, Manifest{Version: 1, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.TailLSN != 1 {
+		t.Errorf("log with manifest in dir: %+v", st)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -64,6 +65,16 @@ type Options struct {
 	// fsync per group commit. Off, appends reach the OS page cache only:
 	// the process can crash safely, the machine cannot.
 	Fsync bool
+
+	// SyncDelay adds an artificial latency floor to every Append fsync
+	// (a benchmarking/testing hook, zero in production). It simulates
+	// slower stable storage deterministically, which is how the win of
+	// parallel per-shard commit pipelines — N logs fsyncing concurrently
+	// instead of one serial pipeline — is made measurable on any disk,
+	// however fast. The sleep happens inside the append lock, exactly
+	// like real device latency occupies the commit pipeline. Ignored
+	// without Fsync.
+	SyncDelay time.Duration
 }
 
 // Stats counts the log's activity since Open. The Syncs counter is what
@@ -486,6 +497,9 @@ func (l *Log) Append(body []byte) (uint64, error) {
 			// WAL than acks resting on bytes that may not exist.
 			l.rewindLocked(before, err)
 			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+		if l.opts.SyncDelay > 0 {
+			time.Sleep(l.opts.SyncDelay)
 		}
 		l.stats.Syncs++
 	}

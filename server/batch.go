@@ -29,6 +29,12 @@ import (
 // continuously. MaxBatch 1 degenerates into serial one-request
 // transactions, which is the baseline the load generator compares
 // against.
+//
+// A sharded server runs one batcher PER SHARD, each against its shard's
+// private runtime, registry and WAL: the commit-ticket sequence below
+// orders requests within one shard's log, and batches on different
+// shards — disjoint structure sets by construction — execute, fsync and
+// ack fully in parallel.
 
 // pending is one request waiting for its batch, plus the route back to
 // its connection. seq/logged are the durability bookkeeping: seq is the

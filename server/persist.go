@@ -2,8 +2,10 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"pnstm"
@@ -275,17 +277,20 @@ func sortedKeys[V any](m map[string]V) []string {
 // Recovery and checkpointing
 // ---------------------------------------------------------------------------
 
-// recover rebuilds the store from the data directory: import the
+// recoverStore rebuilds one shard from its data directory: import the
 // newest snapshot, then replay the WAL tail batch by batch. Open has
 // already truncated any torn or CRC-corrupt tail, so replay sees only
-// durable, intact records.
-func (s *Server) recoverStore() error {
-	if data, lsn, ok := s.wal.Snapshot(); ok {
+// durable, intact records. On a sharded server every shard recovers
+// concurrently — the logs are independent histories over disjoint
+// structure sets, so their replay order relative to each other is
+// immaterial.
+func (sh *shard) recoverStore(fanout int) error {
+	if data, lsn, ok := sh.wal.Snapshot(); ok {
 		img, err := decodeImage(data)
 		if err != nil {
 			return err
 		}
-		if err := s.rt.Run(func(c *pnstm.Ctx) { s.reg.Import(c, img) }); err != nil {
+		if err := sh.rt.Run(func(c *pnstm.Ctx) { sh.reg.Import(c, img) }); err != nil {
 			return fmt.Errorf("server: restore snapshot: %w", err)
 		}
 	} else if lsn > 0 {
@@ -294,45 +299,131 @@ func (s *Server) recoverStore() error {
 		// corruption. Refuse to serve divergent state.
 		return fmt.Errorf("server: snapshot covering lsn %d exists but failed to load; refusing to recover without it", lsn)
 	}
-	return s.wal.Replay(func(lsn uint64, body []byte) error {
+	return sh.wal.Replay(func(lsn uint64, body []byte) error {
 		reqs, err := decodeBatch(body)
 		if err != nil {
 			return fmt.Errorf("server: wal lsn %d: %w", lsn, err)
 		}
-		if err := replayBatch(s.rt, s.reg, s.cfg.BatchFanout, reqs); err != nil {
+		if err := replayBatch(sh.rt, sh.reg, fanout, reqs); err != nil {
 			return fmt.Errorf("server: replay lsn %d: %w", lsn, err)
 		}
 		return nil
 	})
 }
 
-// Checkpoint captures a whole-store snapshot bound to the current WAL
+// pauseCommits fills the shard's in-flight slots so no new group commit
+// can launch, and returns the release function. With a WAL the capacity
+// is 1 (D20), so one slot is the whole pipeline; in-memory pipelined
+// servers have more — and because filling several slots is not atomic,
+// pauseMu admits one pauser at a time (two interleaved pausers would
+// each hold half the slots and block forever on the rest).
+func (sh *shard) pauseCommits() func() {
+	sh.pauseMu.Lock()
+	n := cap(sh.b.inflight)
+	for i := 0; i < n; i++ {
+		sh.b.inflight <- struct{}{}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			<-sh.b.inflight
+		}
+		sh.pauseMu.Unlock()
+	}
+}
+
+// checkpoint captures this shard's snapshot bound to its current WAL
 // tail and persists it, letting the covered log segments be truncated.
-// It holds the group-commit slot while the image is captured, so the
-// snapshot is exactly the state after the last logged batch; the pause
-// is one parallel-nested bulk read — the paper's mechanism keeping the
-// stop-the-world window short — and encoding/writing happen after the
-// slot is released (D22). No-op without a data directory.
-func (s *Server) Checkpoint() error {
-	if s.wal == nil {
+// It holds the shard's group-commit slot while the image is captured,
+// so the snapshot is exactly the state after the shard's last logged
+// batch; the pause is one parallel-nested bulk read — the paper's
+// mechanism keeping the stop-the-world window short — and
+// encoding/writing happen after the slot is released (D22).
+func (sh *shard) checkpoint() error {
+	if sh.wal == nil {
 		return nil
 	}
-	// Idle store: the newest snapshot already covers the whole log, so a
+	// Idle shard: the newest snapshot already covers the whole log, so a
 	// new one would be byte-identical. Skip the export and the fsync.
 	// (The unguarded reads race with a concurrent batch at worst into
 	// one redundant or one deferred checkpoint; the next tick settles.)
-	if st := s.wal.Stats(); st.TailLSN == st.SnapshotLSN {
+	if st := sh.wal.Stats(); st.TailLSN == st.SnapshotLSN {
 		return nil
 	}
-	s.b.inflight <- struct{}{} // pause group commits (MaxInflight is 1 with WAL on)
-	lsn := s.wal.TailLSN()
+	release := sh.pauseCommits()
+	lsn := sh.wal.TailLSN()
 	var img *stmlib.RegistryImage
-	err := s.rt.Run(func(c *pnstm.Ctx) { img = s.reg.Export(c) })
-	<-s.b.inflight
+	err := sh.rt.Run(func(c *pnstm.Ctx) { img = sh.reg.Export(c) })
+	release()
 	if err != nil {
 		return fmt.Errorf("server: checkpoint export: %w", err)
 	}
-	return s.wal.WriteSnapshot(encodeImage(img), lsn)
+	return sh.wal.WriteSnapshot(encodeImage(img), lsn)
+}
+
+// Checkpoint snapshots every shard, concurrently: each shard pauses its
+// own commit pipeline for the duration of its parallel-nested bulk
+// read, captures its image at its own WAL tail, and writes (and fsyncs)
+// its snapshot file independently — the same multiplication sharding
+// gives group commits. No-op without a data directory.
+func (s *Server) Checkpoint() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			if err := sh.checkpoint(); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", sh.id, err)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Export captures a stitched whole-store image: every shard pauses its
+// group-commit pipeline, exports its registry via the parallel-nested
+// bulk read, and the per-shard images are merged into one (counter
+// partials summing — see stmlib.RegistryImage.Merge). The returned
+// watermarks hold each shard's WAL tail LSN at capture time (zero
+// without a data directory): the image is exactly the state after
+// watermark[i] logged batches on shard i. Because every shard is paused
+// before any exports begin, no group commit anywhere in the store
+// overlaps the capture — the stitched image is a consistent cut.
+func (s *Server) Export() (*stmlib.RegistryImage, []uint64, error) {
+	releases := make([]func(), len(s.shards))
+	for i, sh := range s.shards {
+		releases[i] = sh.pauseCommits()
+	}
+	defer func() {
+		for _, release := range releases {
+			release()
+		}
+	}()
+
+	images := make([]*stmlib.RegistryImage, len(s.shards))
+	watermarks := make([]uint64, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			if sh.wal != nil {
+				watermarks[i] = sh.wal.TailLSN()
+			}
+			errs[i] = sh.rt.Run(func(c *pnstm.Ctx) { images[i] = sh.reg.Export(c) })
+		}(i, sh)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, nil, fmt.Errorf("server: export: %w", err)
+	}
+	img := images[0]
+	for _, other := range images[1:] {
+		img.Merge(other)
+	}
+	return img, watermarks, nil
 }
 
 // checkpointLoop runs Checkpoint on the configured cadence until Close.

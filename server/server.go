@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,7 +23,23 @@ type Config struct {
 	// Addr is the TCP listen address (":7455" by default).
 	Addr string
 
-	// Workers is the runtime's worker-slot count P (default 8, max 32).
+	// Shards splits the store into that many independent engine
+	// partitions (default 1, D23). Each shard owns a private runtime,
+	// structure registry, batching loop, commit-ticket sequence and —
+	// with DataDir — its own write-ahead log under shard-<i>/, so group
+	// commits on different shards run fully in parallel, including their
+	// fsyncs. Structures are assigned to shards by name hash
+	// (stmlib.ShardIndex): a request touches exactly the shard its named
+	// structure lives on, so single-structure requests never cross
+	// shards. Cross-structure checkouts run atomically on their stock
+	// map's shard (crediting counter partials there); counter reads fan
+	// across all shards and sum the partials. The shard count is pinned
+	// into a durable data directory's manifest — reopening with a
+	// different count is refused.
+	Shards int
+
+	// Workers is the runtime's worker-slot count P (default 8, max 32),
+	// per shard: every shard runs its own runtime with this many slots.
 	Workers int
 
 	// MaxBatch bounds the number of requests coalesced into one group
@@ -40,16 +58,16 @@ type Config struct {
 	// transaction (default: Workers).
 	BatchFanout int
 
-	// MaxInflight bounds concurrent group commits. The default 1 is the
-	// classic group commit: one batch transaction at a time, so requests
-	// only ever conflict with their own batch siblings, where the
-	// runtime's nesting-aware contention management (escalation)
-	// resolves them. Raising it pipelines batches — the next batch
-	// launches while the previous still runs, keeping the worker slots
-	// fed — which pays off for read-dominant traffic under SharedReads
-	// (concurrent readers never conflict) but can livelock overlapping
-	// write-heavy batches: concurrent roots that persistently write the
-	// same keys abort each other indefinitely. Forced to 1 with Serial,
+	// MaxInflight bounds concurrent group commits PER SHARD. The default
+	// 1 is the classic group commit: one batch transaction at a time per
+	// shard, so requests only ever conflict with their own batch
+	// siblings, where the runtime's nesting-aware contention management
+	// (escalation) resolves them. Raising it pipelines batches within a
+	// shard — which pays off for read-dominant traffic under SharedReads
+	// but can livelock overlapping write-heavy batches. Sharding is the
+	// write-safe way to multiply commit pipelines: batches on different
+	// shards touch disjoint structures by construction, so they commit
+	// concurrently without ever conflicting. Forced to 1 with Serial,
 	// whose runtime forbids concurrent Run.
 	MaxInflight int
 
@@ -65,22 +83,31 @@ type Config struct {
 	// bucket conflict and serialize on publication latency.
 	SharedReads bool
 
-	// Registry sizes the named structures (zero = stmlib defaults).
+	// Registry sizes the named structures (zero = stmlib defaults),
+	// applied to every shard's registry.
 	Registry stmlib.RegistryConfig
 
-	// DataDir enables durability: a segmented write-ahead log plus
-	// periodic whole-store snapshots live there, and New recovers the
-	// store from them before serving. Empty: in-memory only. Enabling
-	// the WAL forces MaxInflight to 1 — the log records each batch in
-	// root-commit order, and pipelined batches would need a commit-order
-	// sequencer to keep the durable order honest (D20).
+	// DataDir enables durability: each shard keeps a segmented
+	// write-ahead log plus periodic whole-store snapshots there (in the
+	// directory root for a single shard, under shard-<i>/ otherwise),
+	// and New recovers the store — every shard concurrently — before
+	// serving. Empty: in-memory only. Enabling the WAL forces
+	// MaxInflight to 1 per shard — each log records its shard's batches
+	// in root-commit order (D20); the shards themselves still commit in
+	// parallel, which is the point of sharding.
 	DataDir string
 
-	// Fsync makes the WAL fsync once per group commit, before any
-	// response of the batch is acked. Off, appends stop at the OS page
-	// cache: a process crash is safe, a machine crash is not. Ignored
-	// without DataDir.
+	// Fsync makes each shard's WAL fsync once per group commit, before
+	// any response of the batch is acked. Off, appends stop at the OS
+	// page cache: a process crash is safe, a machine crash is not.
+	// Ignored without DataDir.
 	Fsync bool
+
+	// WALSyncDelay adds an artificial latency floor to every WAL fsync
+	// (benchmark/test hook, zero in production): it simulates slower
+	// stable storage so the parallel per-shard commit pipelines are
+	// measurable on any disk. Ignored without DataDir and Fsync.
+	WALSyncDelay time.Duration
 
 	// SnapshotEvery starts a background checkpointer writing a snapshot
 	// (and truncating covered WAL segments) on that cadence. Zero: no
@@ -97,6 +124,9 @@ func (c *Config) fillDefaults() {
 	if c.Addr == "" {
 		c.Addr = ":7455"
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Workers <= 0 {
 		c.Workers = 8
 	}
@@ -111,10 +141,27 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// ShardStats is one engine partition's slice of ServerStats.
+type ShardStats struct {
+	Shard        int         `json:"shard"`
+	Batches      uint64      `json:"batches"`
+	Requests     uint64      `json:"requests"`
+	MeanBatch    float64     `json:"mean_batch"`
+	LargestBatch uint64      `json:"largest_batch"`
+	Runtime      pnstm.Stats `json:"runtime"`
+
+	// WAL is present on durable servers: this shard's own log counters.
+	WAL *wal.Stats `json:"wal,omitempty"`
+}
+
 // ServerStats is the OpStats payload: batching behaviour plus the
-// runtime's cumulative counters.
+// runtime's cumulative counters. On a sharded server the top-level
+// figures aggregate every shard (counter sums, with LargestBatch the
+// max and PeakParents the max across shards — nothing is lost in the
+// roll-up) and PerShard carries the per-partition breakdown.
 type ServerStats struct {
 	Workers       uint64      `json:"workers"`
+	Shards        uint64      `json:"shards"`
 	MaxBatch      uint64      `json:"max_batch"`
 	Serial        bool        `json:"serial"`
 	Conns         uint64      `json:"conns"`
@@ -125,21 +172,41 @@ type ServerStats struct {
 	Runtime       pnstm.Stats `json:"runtime"`
 	RuntimeAborts float64     `json:"runtime_abort_ratio"`
 
-	// WAL is present when the server runs with a data directory; its
-	// Syncs counter is the group-commit durability invariant — one fsync
-	// per logged batch, however many requests the batch carried.
+	// PerShard is the per-partition breakdown (one entry per shard,
+	// indexed by shard id).
+	PerShard []ShardStats `json:"per_shard,omitempty"`
+
+	// WAL is present when the server runs with a data directory; on a
+	// sharded server it aggregates every shard's log (counters summed —
+	// so Syncs remains the one-fsync-per-logged-batch invariant in
+	// total; LSNs are per-shard sequences, so the aggregate TailLSN is
+	// the total number of durable records).
 	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
-// Server owns the listener, the runtime, the structure registry and the
-// batching engine. Create with New, start with Serve or ListenAndServe,
-// stop with Close.
-type Server struct {
-	cfg Config
+// shard is one engine partition: a private runtime, structure registry,
+// batching loop and (durable servers) write-ahead log. Shards share
+// nothing — group commits on different shards run fully in parallel,
+// fsyncs included.
+type shard struct {
+	id  int
 	rt  *pnstm.Runtime
 	reg *stmlib.Registry
 	b   *batcher
 	wal *wal.Log // nil without DataDir
+
+	// pauseMu serializes pauseCommits callers (Checkpoint vs Export):
+	// two pausers interleaving their slot acquisitions on a
+	// MaxInflight > 1 shard would deadlock half-filled.
+	pauseMu sync.Mutex
+}
+
+// Server owns the listener, the shard engines and the connection
+// handling. Create with New, start with Serve or ListenAndServe, stop
+// with Close.
+type Server struct {
+	cfg    Config
+	shards []*shard
 
 	ckStop chan struct{} // non-nil when the checkpointer runs
 	ckDone chan struct{}
@@ -151,38 +218,47 @@ type Server struct {
 	closed atomic.Bool
 }
 
-// New creates a server (runtime, registry, batcher) without touching
-// the network yet. With Config.DataDir set it also opens the
-// write-ahead log and recovers the store — snapshot import plus WAL
-// tail replay — before returning.
+// New creates a server (shard runtimes, registries, batchers) without
+// touching the network yet. With Config.DataDir set it also checks the
+// directory's shard manifest, opens every shard's write-ahead log and
+// recovers the store — snapshot import plus WAL tail replay, all shards
+// concurrently — before returning.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
-	rt, err := pnstm.New(pnstm.Config{Workers: cfg.Workers, Serial: cfg.Serial, SharedReads: cfg.SharedReads})
-	if err != nil {
-		return nil, err
-	}
-	reg := stmlib.NewRegistry(cfg.Registry)
 	s := &Server{
 		cfg:   cfg,
-		rt:    rt,
-		reg:   reg,
 		conns: make(map[net.Conn]struct{}),
 	}
-	if cfg.DataDir != "" {
-		wl, err := wal.Open(wal.Options{Dir: cfg.DataDir, Fsync: cfg.Fsync, SegmentBytes: cfg.WALSegmentBytes})
+	teardown := func() {
+		for _, sh := range s.shards {
+			if sh.wal != nil {
+				sh.wal.Close()
+			}
+			sh.rt.Close()
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		rt, err := pnstm.New(pnstm.Config{Workers: cfg.Workers, Serial: cfg.Serial, SharedReads: cfg.SharedReads})
 		if err != nil {
-			rt.Close()
+			teardown()
 			return nil, err
 		}
-		s.wal = wl
-		if err := s.recoverStore(); err != nil {
-			wl.Close()
-			rt.Close()
+		s.shards = append(s.shards, &shard{
+			id:  i,
+			rt:  rt,
+			reg: stmlib.NewRegistry(cfg.Registry),
+		})
+	}
+	if cfg.DataDir != "" {
+		if err := s.openDurability(); err != nil {
+			teardown()
 			return nil, err
 		}
 	}
-	s.b = newBatcher(rt, reg, s.wal, cfg.MaxBatch, cfg.BatchFanout, cfg.MaxInflight, cfg.BatchDelay)
-	if s.wal != nil && cfg.SnapshotEvery > 0 {
+	for _, sh := range s.shards {
+		sh.b = newBatcher(sh.rt, sh.reg, sh.wal, cfg.MaxBatch, cfg.BatchFanout, cfg.MaxInflight, cfg.BatchDelay)
+	}
+	if cfg.DataDir != "" && cfg.SnapshotEvery > 0 {
 		s.ckStop = make(chan struct{})
 		s.ckDone = make(chan struct{})
 		go s.checkpointLoop(cfg.SnapshotEvery)
@@ -190,20 +266,126 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// WALStats snapshots the log's counters (nil-safe zero value without a
-// data directory).
-func (s *Server) WALStats() wal.Stats {
-	if s.wal == nil {
-		return wal.Stats{}
+// shardDataDir is where shard id of n keeps its log: the data directory
+// root for a single shard (the pre-sharding layout, so existing
+// directories keep working), shard-<i>/ otherwise.
+func shardDataDir(base string, id, n int) string {
+	if n == 1 {
+		return base
 	}
-	return s.wal.Stats()
+	return filepath.Join(base, fmt.Sprintf("shard-%d", id))
 }
 
-// Runtime exposes the underlying runtime (in-process embedding, tests).
-func (s *Server) Runtime() *pnstm.Runtime { return s.rt }
+// openDurability validates the data directory's shard manifest, then
+// opens and recovers every shard's WAL concurrently (D25): the logs are
+// independent histories over disjoint structure sets, so their replay
+// needs no cross-shard ordering.
+func (s *Server) openDurability() error {
+	dir := s.cfg.DataDir
+	m, ok, err := wal.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	switch {
+	case ok && m.Shards != len(s.shards):
+		// Structure-to-shard routing is a function of the shard count;
+		// replaying shard i's log into a differently-partitioned store
+		// would scatter structures across logs that never heard of them.
+		return fmt.Errorf("server: data dir %s was created with %d shards; restart with Shards=%d (live resharding is not supported)",
+			dir, m.Shards, m.Shards)
+	case !ok:
+		// No manifest: the directory is either fresh or written by a
+		// pre-manifest (single-shard) version. A sharded layout whose
+		// manifest went missing (partial restore, operator deletion)
+		// must be refused outright — without the recorded count the
+		// name→shard mapping cannot be re-established safely.
+		if orphans, _ := filepath.Glob(filepath.Join(dir, "shard-*")); len(orphans) > 0 {
+			return fmt.Errorf("server: data dir %s holds shard subdirectories but no %s; restore the manifest (it records the shard count the layout was written with)", dir, wal.ManifestName)
+		}
+		if len(s.shards) > 1 {
+			// Root-level segments are the pre-manifest single-shard
+			// layout; only a fresh directory may adopt a multi-shard one.
+			legacy, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+			snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+			if len(legacy)+len(snaps) > 0 {
+				return fmt.Errorf("server: data dir %s holds a single-shard store with no manifest; restart with Shards=1", dir)
+			}
+		}
+		if err := wal.WriteManifest(dir, wal.Manifest{Version: 1, Shards: len(s.shards)}); err != nil {
+			return err
+		}
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			wl, err := wal.Open(wal.Options{
+				Dir:          shardDataDir(dir, sh.id, len(s.shards)),
+				Fsync:        s.cfg.Fsync,
+				SegmentBytes: s.cfg.WALSegmentBytes,
+				SyncDelay:    s.cfg.WALSyncDelay,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sh.wal = wl
+			if err := sh.recoverStore(s.cfg.BatchFanout); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", sh.id, err)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
 
-// Registry exposes the structure catalog (in-process embedding, tests).
-func (s *Server) Registry() *stmlib.Registry { return s.reg }
+// shardFor routes a structure name to its owning shard.
+func (s *Server) shardFor(name string) *shard {
+	return s.shards[stmlib.ShardIndex(name, len(s.shards))]
+}
+
+// addWALStats folds one shard's log counters into agg. LSNs are
+// per-shard sequences, so the aggregate TailLSN/SnapshotLSN are totals
+// of durable records covered, not a single log position.
+func addWALStats(agg *wal.Stats, st wal.Stats) {
+	agg.Appends += st.Appends
+	agg.Syncs += st.Syncs
+	agg.Rotations += st.Rotations
+	agg.Snapshots += st.Snapshots
+	agg.Truncations += st.Truncations
+	agg.Segments += st.Segments
+	agg.TailLSN += st.TailLSN
+	agg.SnapshotLSN += st.SnapshotLSN
+	agg.RecoveredRecords += st.RecoveredRecords
+	agg.RepairedTail = agg.RepairedTail || st.RepairedTail
+	agg.Quarantined += st.Quarantined
+}
+
+// WALStats aggregates every shard's log counters (nil-safe zero value
+// without a data directory); per-shard figures live in
+// Stats().PerShard.
+func (s *Server) WALStats() wal.Stats {
+	var agg wal.Stats
+	for _, sh := range s.shards {
+		if sh.wal != nil {
+			addWALStats(&agg, sh.wal.Stats())
+		}
+	}
+	return agg
+}
+
+// Runtime exposes shard 0's runtime — the whole store's when Shards is
+// 1 (in-process embedding, tests).
+func (s *Server) Runtime() *pnstm.Runtime { return s.shards[0].rt }
+
+// Registry exposes shard 0's structure catalog — the whole store's when
+// Shards is 1 (in-process embedding, tests).
+func (s *Server) Registry() *stmlib.Registry { return s.shards[0].reg }
+
+// ShardCount reports how many engine partitions the server runs.
+func (s *Server) ShardCount() int { return len(s.shards) }
 
 // Listen binds the configured address. Addr() is valid afterwards, which
 // is how tests bind ":0" and discover the port before Serve.
@@ -259,11 +441,11 @@ func (s *Server) ListenAndServe() error {
 }
 
 // Close shuts down gracefully: stop accepting, stop the checkpointer,
-// flush the batcher — every in-flight batch executes, logs and
-// delivers its responses — then issue the WAL's final fsync, and only
-// then tear down connections and the runtime. Every response acked
-// before Close returns is durable (with Fsync it already was, batch by
-// batch). Idempotent.
+// flush every shard's batcher — every in-flight batch executes, logs
+// and delivers its responses — then issue each WAL's final fsync, and
+// only then tear down connections and the runtimes. Every response
+// acked before Close returns is durable (with Fsync it already was,
+// batch by batch). Idempotent.
 func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
@@ -287,16 +469,28 @@ func (s *Server) Close() {
 		nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	}
 	s.mu.Unlock()
-	s.b.close()
-	if s.wal != nil {
+	// Shard flushes overlap: each batcher drains its own pipeline.
+	var flush sync.WaitGroup
+	for _, sh := range s.shards {
+		flush.Add(1)
+		go func(sh *shard) {
+			defer flush.Done()
+			sh.b.close()
+		}(sh)
+	}
+	flush.Wait()
+	for _, sh := range s.shards {
+		if sh.wal == nil {
+			continue
+		}
 		// With Fsync off this final sync is the ONLY point acked writes
 		// reach stable storage, so a failure here must not masquerade as
 		// a clean shutdown.
-		if err := s.wal.Sync(); err != nil {
-			fmt.Fprintf(os.Stderr, "server: final wal fsync failed — acked writes may not be durable: %v\n", err)
+		if err := sh.wal.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "server: shard %d final wal fsync failed — acked writes may not be durable: %v\n", sh.id, err)
 		}
-		if err := s.wal.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "server: wal close: %v\n", err)
+		if err := sh.wal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "server: shard %d wal close: %v\n", sh.id, err)
 		}
 	}
 	s.mu.Lock()
@@ -305,11 +499,13 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	s.rt.Close()
+	for _, sh := range s.shards {
+		sh.rt.Close()
+	}
 }
 
-// Kill is the crash hook for recovery tests: it abandons the WAL
-// without flushing and tears everything down immediately, losing
+// Kill is the crash hook for recovery tests: it abandons every shard's
+// WAL without flushing and tears everything down immediately, losing
 // whatever a real SIGKILL would lose (nothing acked, when Fsync is on).
 // Idempotent with Close.
 func (s *Server) Kill() {
@@ -323,8 +519,10 @@ func (s *Server) Kill() {
 		close(s.ckStop)
 		<-s.ckDone
 	}
-	if s.wal != nil {
-		s.wal.Abandon() // in-flight appends now fail; nothing more reaches disk
+	for _, sh := range s.shards {
+		if sh.wal != nil {
+			sh.wal.Abandon() // in-flight appends now fail; nothing more reaches disk
+		}
 	}
 	s.mu.Lock()
 	for nc := range s.conns {
@@ -332,41 +530,127 @@ func (s *Server) Kill() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	s.b.close()
-	s.rt.Close()
+	for _, sh := range s.shards {
+		sh.b.close()
+		sh.rt.Close()
+	}
 }
 
-// Stats snapshots the server's activity.
+// Stats snapshots the server's activity: aggregate totals plus the
+// per-shard breakdown.
 func (s *Server) Stats() ServerStats {
-	batches, requests, mean, largest := s.b.stats()
 	s.mu.Lock()
 	conns := len(s.conns)
 	s.mu.Unlock()
-	rts := s.rt.Stats()
+
+	per := make([]ShardStats, len(s.shards))
+	var batches, requests, largest uint64
+	var rts pnstm.Stats
 	var ws *wal.Stats
-	if s.wal != nil {
-		st := s.wal.Stats()
-		ws = &st
+	for i, sh := range s.shards {
+		b, r, mean, l := sh.b.stats()
+		rt := sh.rt.Stats()
+		per[i] = ShardStats{
+			Shard:        i,
+			Batches:      b,
+			Requests:     r,
+			MeanBatch:    mean,
+			LargestBatch: uint64(l),
+			Runtime:      rt,
+		}
+		if sh.wal != nil {
+			st := sh.wal.Stats()
+			per[i].WAL = &st
+			// Aggregate from the SAME snapshots the breakdown shows, so
+			// one Stats payload is self-consistent (summing live reads a
+			// second time could disagree under concurrent commits).
+			if ws == nil {
+				ws = &wal.Stats{}
+			}
+			addWALStats(ws, st)
+		}
+		batches += b
+		requests += r
+		if uint64(l) > largest {
+			largest = uint64(l)
+		}
+		rts = rts.Add(rt)
+	}
+	mean := 0.0
+	if batches > 0 {
+		mean = float64(requests) / float64(batches)
 	}
 	return ServerStats{
 		WAL:           ws,
 		Workers:       uint64(s.cfg.Workers),
+		Shards:        uint64(len(s.shards)),
 		MaxBatch:      uint64(s.cfg.MaxBatch),
 		Serial:        s.cfg.Serial,
 		Conns:         uint64(conns),
 		Batches:       batches,
 		Requests:      requests,
 		MeanBatch:     mean,
-		LargestBatch:  uint64(largest),
+		LargestBatch:  largest,
 		Runtime:       rts,
 		RuntimeAborts: rts.AbortRate(),
+		PerShard:      per,
 	}
 }
 
+// fanCounterSum answers a counter read on a sharded server. Checkout
+// transactions credit their counters on the stock map's shard (the
+// transaction must be atomic within one shard), so a counter's total is
+// the sum of per-shard partials — commutative, hence exact. One
+// sub-request rides every shard's group-commit pipeline; the partials
+// are combined and delivered as one response once all shards answered
+// (D24).
+// The combined read is not a single consistent cut across shards (each
+// partial is read atomically on its shard); for a quiesced store it is
+// exact, which is what the workload verifiers rely on.
+func (s *Server) fanCounterSum(req *Request, deliver func(Response)) {
+	var (
+		mu     sync.Mutex
+		total  int64
+		errMsg string
+		wg     sync.WaitGroup
+	)
+	for _, sh := range s.shards {
+		wg.Add(1)
+		p := &pending{req: req, deliver: func(resp Response) {
+			mu.Lock()
+			if resp.Status != StatusOK && errMsg == "" {
+				errMsg = resp.Msg
+				if errMsg == "" {
+					errMsg = "shard error"
+				}
+			}
+			total += resp.Num
+			mu.Unlock()
+			wg.Done()
+		}}
+		if !sh.b.submit(p) {
+			mu.Lock()
+			if errMsg == "" {
+				errMsg = "server closing"
+			}
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	go func() {
+		wg.Wait()
+		if errMsg != "" {
+			deliver(Response{ID: req.ID, Status: StatusErr, Msg: errMsg})
+			return
+		}
+		deliver(Response{ID: req.ID, Status: StatusOK, Num: total})
+	}()
+}
+
 // handleConn runs one connection: a reader loop decoding frames and
-// submitting them to the batcher, and a writer goroutine serializing
-// responses (responses may complete out of order across batches; clients
-// match by request id).
+// submitting them to their shard's batcher, and a writer goroutine
+// serializing responses (responses may complete out of order across
+// batches and shards; clients match by request id).
 func (s *Server) handleConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -446,9 +730,18 @@ func (s *Server) handleConn(nc net.Conn) {
 				continue
 			}
 			deliver(Response{ID: req.ID, Status: StatusOK, Value: blob})
+		case OpCounterSum:
+			if len(s.shards) > 1 {
+				s.fanCounterSum(req, deliver)
+				continue
+			}
+			p := &pending{req: req, deliver: deliver}
+			if !s.shards[0].b.submit(p) {
+				deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
+			}
 		default:
 			p := &pending{req: req, deliver: deliver}
-			if !s.b.submit(p) {
+			if !s.shardFor(req.Name).b.submit(p) {
 				deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
 			}
 		}
