@@ -1,7 +1,9 @@
 // Package client is the Go client for pnstmd: a pool of pipelined
 // connections speaking the server's length-prefixed binary protocol,
 // with typed helpers for the named structures (maps, queues, counters)
-// and the cross-structure checkout operation.
+// and a fluent transaction builder (Txn) composing arbitrary atomic
+// multi-structure operations — guards included — over the generic wire
+// envelope. Checkout is one such composition, kept as a convenience.
 //
 // A Client is safe for concurrent use; that is the intended shape.
 // Every in-flight request from every goroutine rides one of the pooled
@@ -20,6 +22,7 @@ package client
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -302,13 +305,31 @@ func (cl *Client) CounterSum(name string) (int64, error) {
 // credits the checkout's counters. ok is false — with nil error — when
 // the server rejected the order for insufficient stock (the whole
 // checkout rolled back; failedSKU names the first short line).
+//
+// Checkout is a convenience over the generic transaction path: it
+// submits the EXACT envelope the deprecated OpCheckout wire opcode
+// translates to — server.CheckoutTx builds it for both routes (per
+// line an AssertGE stock guard then a MapAdd decrement, ops 2i and
+// 2i+1, then the counter credits) — so they cannot drift and produce
+// identical store state and WAL records.
 func (cl *Client) Checkout(stockMap string, co server.Checkout) (ok bool, failedSKU string, err error) {
-	resp, err := cl.roundTrip(&server.Request{Op: server.OpCheckout, Name: stockMap, Checkout: &co})
+	built, err := server.CheckoutTx(stockMap, &co)
 	if err != nil {
 		return false, "", err
 	}
-	if resp.Status == server.StatusRejected {
-		return false, resp.Msg, nil
+	tx := cl.Txn()
+	tx.ops = built.Ops
+	_, err = tx.Commit()
+	var aborted *ErrTxAborted
+	if errors.As(err, &aborted) {
+		// Guards sit at the even indices, one per order line.
+		if i := aborted.FailedOpIndex / 2; i < len(co.Lines) {
+			return false, co.Lines[i].SKU, nil
+		}
+		return false, "", nil
+	}
+	if err != nil {
+		return false, "", err
 	}
 	return true, "", nil
 }

@@ -1,0 +1,262 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"pnstm/server"
+)
+
+// ErrCrossShard is returned (wrapped) when a mutating transaction's
+// structures live on different shards of a sharded pnstmd. A mutating
+// transaction is atomic within one shard's group-commit pipeline only;
+// co-locate the structures (same shard by name hash) or split the
+// transaction. Read-only transactions never see this error — the server
+// fans them across shards instead. Test with errors.Is.
+var ErrCrossShard = errors.New("transaction spans multiple shards")
+
+// ErrTxAborted is returned by Txn.Commit when the server rejected the
+// transaction: the guard (AssertEq/AssertGE/…) at FailedOpIndex was
+// false, and EVERY write of the transaction was rolled back — the store
+// is exactly as if the transaction never ran.
+//
+// Retry guidance: a failed guard is the app-level conflict signal —
+// the transactional equivalent of a compare-and-swap losing its race.
+// The server has already resolved all low-level STM conflicts
+// internally (transactions are retried inside their group commit), so
+// ErrTxAborted never means "try the identical transaction again": it
+// means the state your guards assumed has moved. Re-read the current
+// state, rebuild the transaction against it, and bound the retries
+// (the classic optimistic-concurrency loop). A guard that keeps
+// failing under contention is telling you to restructure — e.g. swap
+// an AssertEq version check on a hot key for a commutative MapAddInt.
+type ErrTxAborted struct {
+	// FailedOpIndex is the envelope index (Txn op order, 0-based) of
+	// the sub-op that failed.
+	FailedOpIndex int
+	// Reason describes the failed assertion.
+	Reason string
+}
+
+func (e *ErrTxAborted) Error() string {
+	return fmt.Sprintf("client: transaction aborted at op %d: %s", e.FailedOpIndex, e.Reason)
+}
+
+// Txn builds one atomic multi-structure transaction — the wire OpTx
+// envelope. Ops execute in the order they are added, atomically, with
+// read-your-writes across ops on the same structure; on the server the
+// whole envelope runs as one nested child of a group-commit batch, its
+// per-structure op groups fanned as parallel-nested grandchildren.
+// Build errors (oversize fields) are deferred to Commit, so chains
+// never need intermediate checks:
+//
+//	res, err := cl.Txn().
+//	        AssertGE("stock", "anvil", 2).
+//	        MapAddInt("stock", "anvil", -2).
+//	        CounterAdd("sold", 2).
+//	        Commit()
+//
+// A Txn is single-use (Commit once) and not safe for concurrent
+// building. Results are indexed by op order: capture At() before adding
+// an op to know where its result will land.
+type Txn struct {
+	cl  *Client
+	ops []server.TxOp
+	err error
+}
+
+// Txn starts an empty transaction builder.
+func (cl *Client) Txn() *Txn { return &Txn{cl: cl} }
+
+// At returns the index the NEXT op will occupy — capture it before
+// adding an op to address that op's result in the committed TxResults.
+func (t *Txn) At() int { return len(t.ops) }
+
+func (t *Txn) add(op server.TxOp) *Txn {
+	t.ops = append(t.ops, op)
+	return t
+}
+
+// MapGet reads key from the named map (result: Bytes/Found).
+func (t *Txn) MapGet(name, key string) *Txn {
+	return t.add(server.TxOp{Op: server.OpMapGet, Name: name, Key: key})
+}
+
+// MapPut stores value under key in the named map.
+func (t *Txn) MapPut(name, key string, value []byte) *Txn {
+	return t.add(server.TxOp{Op: server.OpMapPut, Name: name, Key: key, Value: value})
+}
+
+// MapPutInt stores an int64 value (the encoding MapAddInt and the
+// integer guards understand).
+func (t *Txn) MapPutInt(name, key string, v int64) *Txn {
+	return t.MapPut(name, key, server.EncodeInt64(v))
+}
+
+// MapDelete removes key from the named map (result: Found).
+func (t *Txn) MapDelete(name, key string) *Txn {
+	return t.add(server.TxOp{Op: server.OpMapDelete, Name: name, Key: key})
+}
+
+// MapLen reads the named map's entry count (result: Num).
+func (t *Txn) MapLen(name string) *Txn {
+	return t.add(server.TxOp{Op: server.OpMapLen, Name: name})
+}
+
+// MapAddInt adds delta to the int64-encoded value under key, treating
+// an absent key as 0 (result: Num is the new value, Found whether the
+// key existed before).
+func (t *Txn) MapAddInt(name, key string, delta int64) *Txn {
+	return t.add(server.TxOp{Op: server.OpMapAdd, Name: name, Key: key, Delta: delta})
+}
+
+// QueuePush appends value to the named queue.
+func (t *Txn) QueuePush(name string, value []byte) *Txn {
+	return t.add(server.TxOp{Op: server.OpQueuePush, Name: name, Value: value})
+}
+
+// QueuePop removes the named queue's front element (result:
+// Bytes/Found).
+func (t *Txn) QueuePop(name string) *Txn {
+	return t.add(server.TxOp{Op: server.OpQueuePop, Name: name})
+}
+
+// QueueLen reads the named queue's length (result: Num).
+func (t *Txn) QueueLen(name string) *Txn {
+	return t.add(server.TxOp{Op: server.OpQueueLen, Name: name})
+}
+
+// CounterAdd adds delta to the named counter. On a sharded server the
+// credit lands on the shard the transaction executes on (counter state
+// is per-shard partials; top-level Client.CounterSum reads the exact
+// cross-shard total).
+func (t *Txn) CounterAdd(name string, delta int64) *Txn {
+	return t.add(server.TxOp{Op: server.OpCounterAdd, Name: name, Delta: delta})
+}
+
+// CounterSum reads the named counter (result: Num). Inside a
+// transaction pinned to one shard this is that shard's partial — exact
+// on a 1-shard server; in a fanned read-only transaction it is the
+// exact cross-shard total.
+func (t *Txn) CounterSum(name string) *Txn {
+	return t.add(server.TxOp{Op: server.OpCounterSum, Name: name})
+}
+
+// AssertEq guards the transaction on a map value: the bytes under key
+// must equal value exactly (nil asserts the key is absent), or the
+// whole transaction aborts with ErrTxAborted.
+func (t *Txn) AssertEq(name, key string, value []byte) *Txn {
+	if key == "" {
+		t.fail(fmt.Errorf("client: AssertEq needs a key (use AssertCounterEq for counters)"))
+		return t
+	}
+	return t.add(server.TxOp{Op: server.OpAssertEq, Name: name, Key: key, Value: value})
+}
+
+// AssertEqInt is AssertEq against an int64-encoded value.
+func (t *Txn) AssertEqInt(name, key string, v int64) *Txn {
+	return t.AssertEq(name, key, server.EncodeInt64(v))
+}
+
+// AssertGE guards the transaction on an int64-encoded map value: the
+// value under key (0 when absent) must be ≥ min.
+func (t *Txn) AssertGE(name, key string, min int64) *Txn {
+	if key == "" {
+		t.fail(fmt.Errorf("client: AssertGE needs a key (use AssertCounterGE for counters)"))
+		return t
+	}
+	return t.add(server.TxOp{Op: server.OpAssertGE, Name: name, Key: key, Delta: min})
+}
+
+// AssertCounterEq guards the transaction on a counter's sum (the
+// executing shard's partial on a sharded server; exact when fanned
+// read-only or on a 1-shard server).
+func (t *Txn) AssertCounterEq(name string, v int64) *Txn {
+	return t.add(server.TxOp{Op: server.OpAssertEq, Name: name, Delta: v})
+}
+
+// AssertCounterGE guards the transaction on a counter's sum being ≥ min.
+func (t *Txn) AssertCounterGE(name string, min int64) *Txn {
+	return t.add(server.TxOp{Op: server.OpAssertGE, Name: name, Delta: min})
+}
+
+func (t *Txn) fail(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// Commit sends the transaction and waits for its atomic outcome.
+//
+//   - nil error: every op executed and committed; results are indexed
+//     by op order.
+//   - *ErrTxAborted (errors.As): a guard was false; nothing committed.
+//     The partial results show what the aborted attempt observed.
+//   - ErrCrossShard (errors.Is): a mutating transaction pinned several
+//     shards; nothing executed.
+//   - anything else: transport or server failure; for writes, assume
+//     unknown outcome (as with any RPC).
+func (t *Txn) Commit() (*TxResults, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if len(t.ops) == 0 {
+		return &TxResults{}, nil
+	}
+	resp, err := t.cl.roundTrip(&server.Request{Op: server.OpTx, Tx: &server.Tx{Ops: t.ops}})
+	if resp != nil {
+		switch resp.Status {
+		case server.StatusRejected:
+			return &TxResults{rs: resp.TxResults},
+				&ErrTxAborted{FailedOpIndex: int(resp.Num), Reason: resp.Msg}
+		case server.StatusCrossShard:
+			return nil, fmt.Errorf("client: %s: %w", resp.Msg, ErrCrossShard)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &TxResults{rs: resp.TxResults}, nil
+}
+
+// TxResults is the per-op outcome vector of a committed (or, partially,
+// an aborted) transaction, indexed by op order.
+type TxResults struct {
+	rs []server.TxResult
+}
+
+// Len is the number of result slots.
+func (r *TxResults) Len() int { return len(r.rs) }
+
+func (r *TxResults) at(i int) server.TxResult {
+	if i < 0 || i >= len(r.rs) {
+		return server.TxResult{}
+	}
+	return r.rs[i]
+}
+
+// Executed reports whether op i ran (false for ops after the failing
+// guard of an aborted transaction).
+func (r *TxResults) Executed(i int) bool { return r.at(i).Status != 0 }
+
+// Found reports op i's existence answer (map get/delete, queue pop,
+// map add's "existed before").
+func (r *TxResults) Found(i int) bool { return r.at(i).Found }
+
+// Num reports op i's numeric answer (lengths, sums, map-add results,
+// guard observations).
+func (r *TxResults) Num(i int) int64 { return r.at(i).Num }
+
+// Bytes reports op i's payload answer (map get, queue pop).
+func (r *TxResults) Bytes(i int) []byte { return r.at(i).Value }
+
+// Int decodes op i's payload as an int64-encoded value; ok mirrors
+// Found.
+func (r *TxResults) Int(i int) (v int64, ok bool, err error) {
+	res := r.at(i)
+	if !res.Found {
+		return 0, false, nil
+	}
+	v, err = server.DecodeInt64(res.Value)
+	return v, true, err
+}

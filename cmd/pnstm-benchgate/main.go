@@ -10,7 +10,12 @@
 //	    -metric throughput_per_sec -max-drop 0.20
 //
 // Repeat -metric to gate several metrics of one report; every tracked
-// metric must be present in both files. A metric passes when
+// metric must be present in both files. Because the committed baseline
+// holds the floors for SEVERAL reports in one metrics map, a report
+// key may gate against a differently-named baseline key with
+// `-metric report_key=baseline_key` (e.g. a workload report's
+// throughput_per_sec against the baseline's txmix_throughput_per_sec).
+// A metric passes when
 //
 //	report ≥ baseline × (1 − max-drop)
 //
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // report is the slice of bench.Report this tool needs; decoding locally
@@ -62,7 +68,7 @@ func main() {
 		maxDrop      = flag.Float64("max-drop", 0.20, "largest tolerated fractional drop vs baseline")
 		metrics      metricList
 	)
-	flag.Var(&metrics, "metric", "metric key to gate (repeatable)")
+	flag.Var(&metrics, "metric", "metric key to gate (repeatable; report_key=baseline_key gates a report metric against a differently-named baseline floor)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -89,13 +95,17 @@ func main() {
 
 	regressed := 0
 	for _, key := range metrics {
-		want, ok := base.Metrics[key]
-		if !ok {
-			fail("baseline %s has no metric %q", *baselinePath, key)
+		repKey, baseKey := key, key
+		if i := strings.IndexByte(key, '='); i >= 0 {
+			repKey, baseKey = key[:i], key[i+1:]
 		}
-		got, ok := rep.Metrics[key]
+		want, ok := base.Metrics[baseKey]
 		if !ok {
-			fail("report %s has no metric %q", *reportPath, key)
+			fail("baseline %s has no metric %q", *baselinePath, baseKey)
+		}
+		got, ok := rep.Metrics[repKey]
+		if !ok {
+			fail("report %s has no metric %q", *reportPath, repKey)
 		}
 		floor := want * (1 - *maxDrop)
 		status := "ok"

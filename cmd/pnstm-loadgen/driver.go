@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -9,11 +10,12 @@ import (
 
 	"pnstm/client"
 	"pnstm/server"
+	"pnstm/stmlib"
 )
 
 // genCfg parameterizes one load-generation run.
 type genCfg struct {
-	workload    string // readmap, queue, counter, checkout, mixed
+	workload    string // readmap, queue, counter, checkout, mixed, txmix
 	concurrency int    // issuing goroutines
 	conns       int    // pooled client connections
 	duration    time.Duration
@@ -22,15 +24,21 @@ type genCfg struct {
 	readFrac    float64 // readmap read fraction
 	skus        int     // checkout SKU count
 	stockPer    int64   // checkout initial units per SKU
-	queues      int     // queue workload: distinct queues
+	queues      int     // queue workload: distinct queues (txmix: queue pairs)
 	seed        int64
+}
+
+// runsCheckout reports whether the workload issues checkout orders (and
+// so needs stock provisioning and the conservation verifier).
+func (c *genCfg) runsCheckout() bool {
+	return c.workload == "checkout" || c.workload == "mixed" || c.workload == "txmix"
 }
 
 func (c *genCfg) fillDefaults() error {
 	switch c.workload {
-	case "readmap", "queue", "counter", "checkout", "mixed":
+	case "readmap", "queue", "counter", "checkout", "mixed", "txmix":
 	default:
-		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout or mixed)", c.workload)
+		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed or txmix)", c.workload)
 	}
 	if c.concurrency <= 0 {
 		c.concurrency = 16
@@ -114,15 +122,23 @@ type driver struct {
 	rejected atomic.Int64
 	mapPuts  atomic.Int64
 
+	// txmix state: co-sharded queue pairs for atomic transfers, and
+	// acked-transfer / CAS tallies for the conservation verifiers.
+	txPairs    [][2]string
+	txPushed   atomic.Int64
+	txPopped   atomic.Int64
+	casApplied atomic.Int64
+
 	// base snapshots the server state right after setup so verify()
 	// compares deltas: a long-lived pnstmd carries counters and queue
 	// contents from earlier runs.
 	base struct {
-		mapLen  int64
-		queues  int64
-		counter int64
-		sold    int64
-		revenue int64
+		mapLen   int64
+		queues   int64
+		counter  int64
+		sold     int64
+		revenue  int64
+		txQueues int64
 	}
 }
 
@@ -140,11 +156,53 @@ const (
 	// holds across restarts AND across repeated load runs on one data
 	// dir — the law is over the deltas since the last provisioning.
 	metaName = "bench:meta"
+
+	// txmix: CAS slots live in their own map (guard-contended version
+	// counters) and transfers move elements between txQueueName queues.
+	casMapName = "bench:cas"
+	casSlots   = 64
 )
 
-func queueName(i int) string { return fmt.Sprintf("bench:q%d", i) }
-func keyName(i int) string   { return fmt.Sprintf("k%06d", i) }
-func skuName(i int) string   { return fmt.Sprintf("sku%03d", i) }
+func queueName(i int) string   { return fmt.Sprintf("bench:q%d", i) }
+func keyName(i int) string     { return fmt.Sprintf("k%06d", i) }
+func skuName(i int) string     { return fmt.Sprintf("sku%03d", i) }
+func txQueueName(i int) string { return fmt.Sprintf("bench:txq%d", i) }
+func casKey(i int) string      { return fmt.Sprintf("slot%02d", i) }
+
+// txQueueNames is the txmix transfer-queue pool: four queues per
+// configured -queues unit, so co-sharded partners usually exist and
+// sibling transfers in one batch usually hit distinct pairs.
+func (c *genCfg) txQueueNames() []string {
+	names := make([]string, 4*c.queues)
+	for i := range names {
+		names[i] = txQueueName(i)
+	}
+	return names
+}
+
+// pairTxQueues pairs transfer queues that live on the SAME shard, since
+// a mutating transaction touching two queues must stay within one
+// shard's commit pipeline (the server refuses cross-shard mutators with
+// ErrCrossShard). An unpartnered queue pairs with itself — a
+// self-transfer conserves just the same.
+func pairTxQueues(names []string, shards int) [][2]string {
+	byShard := make(map[int][]string)
+	for _, n := range names {
+		sh := stmlib.ShardIndex(n, shards)
+		byShard[sh] = append(byShard[sh], n)
+	}
+	var pairs [][2]string
+	for _, group := range byShard {
+		for i := 0; i+1 < len(group); i += 2 {
+			pairs = append(pairs, [2]string{group[i], group[i+1]})
+		}
+		if len(group)%2 == 1 {
+			last := group[len(group)-1]
+			pairs = append(pairs, [2]string{last, last})
+		}
+	}
+	return pairs
+}
 
 // setup provisions the structures the run reads from.
 func (d *driver) setup() error {
@@ -156,17 +214,32 @@ func (d *driver) setup() error {
 			}
 		}
 	}
-	if c.workload == "checkout" || c.workload == "mixed" {
+	if c.runsCheckout() {
 		for i := 0; i < c.skus; i++ {
 			if err := d.cl.MapPutInt(stockName, skuName(i), c.stockPer); err != nil {
 				return fmt.Errorf("setup stock: %w", err)
 			}
 		}
 	}
+	if c.workload == "txmix" {
+		for i := 0; i < casSlots; i++ {
+			if err := d.cl.MapPutInt(casMapName, casKey(i), 0); err != nil {
+				return fmt.Errorf("setup cas slots: %w", err)
+			}
+		}
+		// Transfer pairs must not cross shards: ask the server how many
+		// partitions it runs (1 when stats are unavailable — a sharded
+		// server always answers stats).
+		shards := 1
+		if st, err := d.cl.Stats(); err == nil && st.Shards > 0 {
+			shards = int(st.Shards)
+		}
+		d.txPairs = pairTxQueues(c.txQueueNames(), shards)
+	}
 	if err := d.snapshotBaselines(); err != nil {
 		return err
 	}
-	if c.workload == "checkout" || c.workload == "mixed" {
+	if c.runsCheckout() {
 		for k, v := range map[string]int64{
 			"sold0":       d.base.sold,
 			"revenue0":    d.base.revenue,
@@ -207,9 +280,17 @@ func (d *driver) snapshotBaselines() error {
 	if c.workload == "counter" || c.workload == "mixed" {
 		read(&d.base.counter, func() (int64, error) { return d.cl.CounterSum(counterName) })
 	}
-	if c.workload == "checkout" || c.workload == "mixed" {
+	if c.runsCheckout() {
 		read(&d.base.sold, func() (int64, error) { return d.cl.CounterSum(soldName) })
 		read(&d.base.revenue, func() (int64, error) { return d.cl.CounterSum(revenueName) })
+	}
+	if c.workload == "txmix" {
+		for _, q := range c.txQueueNames() {
+			q := q
+			var n int64
+			read(&n, func() (int64, error) { return d.cl.QueueLen(q) })
+			d.base.txQueues += n
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("setup baselines: %w", err)
@@ -240,8 +321,85 @@ func (d *driver) op(rng *rand.Rand) error {
 		default:
 			return d.opCheckout(rng)
 		}
+	case "txmix":
+		switch r := rng.Intn(10); {
+		case r < 4:
+			return d.opCheckout(rng) // rides the generic envelope path
+		case r < 7:
+			return d.opTxTransfer(rng)
+		case r < 9:
+			return d.opTxCas(rng)
+		default:
+			return d.opTxAudit(rng)
+		}
 	}
 	return fmt.Errorf("unreachable workload")
+}
+
+// opTxTransfer atomically moves one element between two co-sharded
+// queues (pop A, push B in ONE envelope). A pop that finds the source
+// empty still pushes — the verifier's ledger accounts for both cases,
+// so total elements across the transfer pool obey
+// base + pushed − popped exactly.
+func (d *driver) opTxTransfer(rng *rand.Rand) error {
+	pair := d.txPairs[rng.Intn(len(d.txPairs))]
+	res, err := d.cl.Txn().
+		QueuePop(pair[0]).
+		QueuePush(pair[1], server.EncodeInt64(rng.Int63())).
+		Commit()
+	if err != nil {
+		return err
+	}
+	d.txPushed.Add(1)
+	if res.Found(0) {
+		d.txPopped.Add(1)
+	}
+	return nil
+}
+
+// opTxCas is the optimistic-concurrency pattern the guard ops exist
+// for: read a version slot, then commit AssertEq(old) + Put(old+1) in
+// one envelope. A lost race comes back as ErrTxAborted — the app-level
+// conflict signal, tallied as a rejection, never an error.
+func (d *driver) opTxCas(rng *rand.Rand) error {
+	slot := casKey(rng.Intn(casSlots))
+	old, ok, err := d.cl.MapGetInt(casMapName, slot)
+	if err != nil {
+		return err
+	}
+	tx := d.cl.Txn()
+	if ok {
+		tx.AssertEqInt(casMapName, slot, old)
+	} else {
+		tx.AssertEq(casMapName, slot, nil)
+	}
+	_, err = tx.MapPutInt(casMapName, slot, old+1).Commit()
+	var aborted *client.ErrTxAborted
+	if errors.As(err, &aborted) {
+		d.rejected.Add(1)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	d.casApplied.Add(1)
+	return nil
+}
+
+// opTxAudit is a read-only envelope spanning structures (and, on a
+// sharded server, shards — it exercises the read-only fan): point
+// reads, lengths and a globally-summed counter guard.
+func (d *driver) opTxAudit(rng *rand.Rand) error {
+	pair := d.txPairs[rng.Intn(len(d.txPairs))]
+	_, err := d.cl.Txn().
+		MapGet(casMapName, casKey(rng.Intn(casSlots))).
+		MapGet(stockName, skuName(rng.Intn(d.cfg.skus))).
+		QueueLen(pair[0]).
+		QueueLen(pair[1]).
+		CounterSum(soldName).
+		AssertCounterGE(soldName, 0).
+		Commit()
+	return err
 }
 
 func (d *driver) opReadMap(rng *rand.Rand) error {
@@ -357,7 +515,37 @@ func (d *driver) verify() []string {
 			fail("counter = %d, want %d (baseline + issued adds)", sum, d.base.counter+d.adds.Load())
 		}
 	}
-	if c.workload == "checkout" || c.workload == "mixed" {
+	if c.workload == "txmix" {
+		// Transfer conservation: every committed envelope pushed exactly
+		// once and popped at most once, atomically.
+		var remaining int64
+		for _, q := range c.txQueueNames() {
+			n, err := d.cl.QueueLen(q)
+			if err != nil {
+				fail("tx queue len: %v", err)
+				break
+			}
+			remaining += n
+		}
+		if want := d.base.txQueues + d.txPushed.Load() - d.txPopped.Load(); remaining != want {
+			fail("transfer queues hold %d elements, want baseline+pushed−popped = %d", remaining, want)
+		}
+		// CAS ledger: each slot only ever moves by guarded +1, so the pool
+		// total equals the number of wins the clients tallied.
+		var sum int64
+		for i := 0; i < casSlots; i++ {
+			v, ok, err := d.cl.MapGetInt(casMapName, casKey(i))
+			if err != nil || !ok {
+				fail("cas slot %s: ok=%v err=%v", casKey(i), ok, err)
+				return out
+			}
+			sum += v
+		}
+		if sum != d.casApplied.Load() {
+			fail("cas slots total %d, want %d applied increments", sum, d.casApplied.Load())
+		}
+	}
+	if c.runsCheckout() {
 		var remaining int64
 		for i := 0; i < c.skus; i++ {
 			v, ok, err := d.cl.MapGetInt(stockName, skuName(i))

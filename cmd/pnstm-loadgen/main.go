@@ -11,6 +11,11 @@
 //	checkout  cross-structure orders (stock map + sold/revenue counters),
 //	          with conservation invariants checked at the end
 //	mixed     all of the above interleaved
+//	txmix     multi-op wire transactions (client.Txn envelopes): checkout
+//	          orders, atomic queue-to-queue transfers (co-sharded pairs),
+//	          guarded compare-and-swap bumps (aborted guards tallied as
+//	          rejections), and read-only cross-structure audits that fan
+//	          shards — with transfer/CAS/conservation ledgers verified
 //
 // Usage:
 //
@@ -19,6 +24,10 @@
 //	pnstm-loadgen -workload readmap -rate 20000          # open loop
 //	pnstm-loadgen -compare -workload readmap -json .     # embedded A/B:
 //	        group commit (batched) vs batch-size-1 serial execution
+//	pnstm-loadgen -compare -workload txmix -fsync -syncdelay 2ms -json .
+//	        # durable A/B on multi-op wire transactions: the serial
+//	        # baseline fsyncs once per REQUEST, group commit once per
+//	        # BATCH — the amortization the envelope path is built on
 //	pnstm-loadgen -compare -persist -workload counter -json .
 //	        # persistence overhead A/B: in-memory vs WAL vs WAL+fsync
 //	pnstm-loadgen -compare -shards 4 -syncdelay 2ms -min-shard-speedup 1.5
@@ -50,7 +59,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:7455", "pnstmd address")
-		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout or mixed")
+		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout, mixed or txmix")
 		concurrency = flag.Int("concurrency", 16, "issuing goroutines")
 		conns       = flag.Int("conns", 4, "pooled client connections")
 		duration    = flag.Duration("duration", 5*time.Second, "measurement window")
@@ -68,9 +77,11 @@ func main() {
 		compareBatch = flag.Int("comparebatch", 64, "compare mode: MaxBatch of the batched server")
 		workers      = flag.Int("workers", 8, "compare/crash mode: worker slots of the embedded servers")
 		persist      = flag.Bool("persist", false, "with -compare: persistence-overhead A/B — in-memory vs WAL (no fsync) vs WAL (fsync per group commit)")
+		fsyncCmp     = flag.Bool("fsync", false, "with -compare: run BOTH A/B servers durable with one fsync per commit — the serial baseline pays it per REQUEST, group commit per BATCH (combine with -syncdelay for a deterministic floor)")
 		shards       = flag.Int("shards", 1, "with -compare: shard-scaling A/B — 1-shard vs N-shard durable server, parallel per-shard group commits; with -kill-after: shard count of the crashed server")
-		syncDelay    = flag.Duration("syncdelay", 0, "shard compare: artificial per-fsync latency floor (simulates slower stable storage so the pipeline count dominates)")
+		syncDelay    = flag.Duration("syncdelay", 0, "compare modes: artificial per-fsync latency floor (simulates slower stable storage so the fsync/pipeline count dominates, not the box's disk)")
 		minSpeedup   = flag.Float64("min-shard-speedup", 0, "shard compare: fail unless N-shard throughput ≥ this multiple of 1-shard (0: report only)")
+		minCmpSpdup  = flag.Float64("min-speedup", 0, "compare mode: fail unless batched throughput ≥ this multiple of the serial baseline (0: report only)")
 		killAfter    = flag.Duration("kill-after", 0, "crash-recovery drill: hard-kill an embedded durable server after this long under load, restart, verify invariants")
 		dataDir      = flag.String("data-dir", "", "crash mode: data directory to crash and recover on (empty: a temp dir)")
 		recoveryChk  = flag.Bool("recovery-check", false, "verify a restarted pnstmd at -addr holds the recovered-store invariants (conservation, no oversell)")
@@ -133,7 +144,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(cfg, *workers, *compareBatch, *jsonDir, *name); err != nil {
+		if err := runCompare(cfg, *workers, *compareBatch, *fsyncCmp, *syncDelay, *minCmpSpdup, *jsonDir, *name); err != nil {
 			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -257,7 +268,17 @@ func buildReport(cfg genCfg, res *genResult, name string) *bench.Report {
 // serial execution vs group commit — runs the same workload against
 // both, and reports the comparison (the paper's serial-vs-parallel
 // nesting evaluation, measured end to end through the network stack).
-func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
+//
+// With fsync=true both servers run durable with one fsync per commit
+// (and syncDelay as an artificial stable-storage latency floor, like
+// the shard A/B): the serial baseline then pays a FULL fsync per
+// request while group commit pays one per BATCH — the amortization
+// that makes group commit the right architecture for mutating
+// multi-op transactions. Without fsync the comparison measures raw
+// in-memory execution, where cheap point ops favor the serial
+// baseline's zero-machinery path (the paper's own short-transaction
+// observation) and read-pipelining workloads favor batching.
+func runCompare(cfg genCfg, workers, maxBatch int, fsync bool, syncDelay time.Duration, minSpeedup float64, jsonDir, name string) error {
 	type mode struct {
 		label string
 		scfg  server.Config
@@ -282,8 +303,19 @@ func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
 		{"batched", server.Config{Workers: workers, MaxBatch: maxBatch, SharedReads: true, MaxInflight: inflight, Registry: reg}},
 	}
 	results := make(map[string]*genResult, len(modes))
+	fsyncs := make(map[string]float64, len(modes))
 	for _, m := range modes {
 		m.scfg.Addr = "127.0.0.1:0"
+		if fsync {
+			dir, err := os.MkdirTemp("", "pnstm-compare-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			m.scfg.DataDir = dir
+			m.scfg.Fsync = true
+			m.scfg.WALSyncDelay = syncDelay
+		}
 		s, err := server.New(m.scfg)
 		if err != nil {
 			return err
@@ -297,8 +329,12 @@ func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
 			s.Close()
 			return err
 		}
-		fmt.Printf("== %s (workers=%d batch=%d serial=%v)\n", m.label, workers, m.scfg.MaxBatch, m.scfg.Serial)
+		fmt.Printf("== %s (workers=%d batch=%d serial=%v fsync=%v syncdelay=%v)\n",
+			m.label, workers, m.scfg.MaxBatch, m.scfg.Serial, fsync, syncDelay)
 		res, err := runLoad(cl, cfg)
+		if fsync {
+			fsyncs[m.label] = float64(s.WALStats().Syncs)
+		}
 		cl.Close()
 		s.Close()
 		if err != nil {
@@ -314,6 +350,10 @@ func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
 		speedup = bat.throughput() / ser.throughput()
 	}
 	fmt.Printf("== group commit vs batch-size-1 serial: %.2fx throughput\n", speedup)
+	if fsync {
+		fmt.Printf("== fsyncs: serial %.0f, batched %.0f (group commit amortizes the commit cost)\n",
+			fsyncs["serial"], fsyncs["batched"])
+	}
 
 	if jsonDir != "" {
 		if name == "" {
@@ -327,6 +367,10 @@ func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
 			"batched_ops":                float64(bat.ops),
 			"batched_mean_batch":         bat.runtimeStat.meanBatch,
 			"batched_abort_ratio":        bat.runtimeStat.abortRatio,
+		}
+		if fsync {
+			metrics["serial_wal_fsyncs"] = fsyncs["serial"]
+			metrics["batched_wal_fsyncs"] = fsyncs["batched"]
 		}
 		for k, v := range bench.LatencyMetrics(bat.latencies) {
 			metrics["batched_"+k] = v
@@ -344,6 +388,8 @@ func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
 				"duration":    cfg.duration.String(),
 				"workers":     workers,
 				"max_batch":   maxBatch,
+				"fsync":       fsync,
+				"syncdelay":   syncDelay.String(),
 				"seed":        cfg.seed,
 			},
 			Metrics: metrics,
@@ -364,6 +410,9 @@ func runCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) error {
 	}
 	if len(ser.violations) > 0 || len(bat.violations) > 0 || ser.errs > 0 || bat.errs > 0 {
 		return fmt.Errorf("invariant violations or request errors (see above)")
+	}
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("group commit regressed: batched delivers %.2fx the serial baseline, want ≥ %.2fx", speedup, minSpeedup)
 	}
 	return nil
 }

@@ -2,7 +2,13 @@
 // counters) over TCP with group-commit batching: concurrent in-flight
 // requests coalesce into one root transaction per batch, each request
 // running as a parallel nested child via Ctx.Parallel — the paper's
-// fork/join mechanism as a network server.
+// fork/join mechanism as a network server. Clients compose atomic
+// multi-structure operations as OpTx wire transactions (client.Txn):
+// ordered sub-ops with read-your-writes and guard assertions, executed
+// as one nested child whose per-structure groups fan out as
+// parallel-nested grandchildren. Mutating transactions are atomic
+// within one shard (cross-shard mutators are refused); read-only
+// transactions fan shards.
 //
 // Usage:
 //

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -222,7 +223,7 @@ func (b *batcher) execute(batch []*pending) {
 	// reproduces a valid serialization of the batch on replay.
 	var seq atomic.Uint64
 	apply := func(c *pnstm.Ctx, p *pending) {
-		if b.wal == nil || !canMutate(p.req.Op) {
+		if b.wal == nil || !canMutate(p.req) {
 			// Pure reads never log, so they skip the ticket-stamping
 			// wrapper transaction entirely.
 			p.resp = applyRequest(c, b.reg, p.req)
@@ -413,66 +414,273 @@ func applyRequest(c *pnstm.Ctx, reg *stmlib.Registry, req *Request) Response {
 			resp.Num = reg.Counter(req.Name).Sum(c)
 			return nil
 		})
+	case OpMapAdd:
+		err = c.Atomic(func(c *pnstm.Ctx) error {
+			var e error
+			resp.Num, resp.Found, e = mapAdd(c, reg, req.Name, req.Key, req.Delta)
+			return e
+		})
 	case OpCheckout:
-		err = applyCheckout(c, reg, req, &resp)
+		// In-process callers (tests) may still build checkout requests
+		// directly; the wire path translated them in ParseRequest.
+		tx, terr := CheckoutTx(req.Name, req.Checkout)
+		if terr != nil {
+			return Response{ID: req.ID, Status: StatusErr, Msg: terr.Error()}
+		}
+		err = applyTx(c, reg, &Tx{Ops: tx.Ops}, &resp)
+	case OpTx:
+		err = applyTx(c, reg, req.Tx, &resp)
 	default:
 		return Response{ID: req.ID, Status: StatusErr, Msg: "unbatchable or unknown opcode"}
 	}
 	switch {
 	case err == nil:
 	case errors.Is(err, errRejected):
-		resp = Response{ID: req.ID, Status: StatusRejected, Msg: resp.Msg}
+		resp = Response{ID: req.ID, Status: StatusRejected, Found: resp.Found,
+			Num: resp.Num, Msg: resp.Msg, TxResults: resp.TxResults}
 	default:
 		resp = Response{ID: req.ID, Status: StatusErr, Msg: err.Error()}
 	}
 	return resp
 }
 
-// applyCheckout is the cross-structure order transaction (see Checkout).
-func applyCheckout(c *pnstm.Ctx, reg *stmlib.Registry, req *Request, resp *Response) error {
-	co := req.Checkout
-	if co == nil {
-		co = &Checkout{}
+// mapAdd is the OpMapAdd primitive: add delta to the int64-encoded map
+// value under key (absent reads as 0), returning the new value and
+// whether the key existed before.
+func mapAdd(c *pnstm.Ctx, reg *stmlib.Registry, name, key string, delta int64) (int64, bool, error) {
+	m := reg.Map(name)
+	var have int64
+	raw, ok := m.Get(c, key)
+	if ok {
+		v, err := DecodeInt64(raw)
+		if err != nil {
+			return 0, ok, err
+		}
+		have = v
 	}
+	have += delta
+	m.Put(c, key, EncodeInt64(have))
+	return have, ok, nil
+}
+
+// txGroupKey buckets a sub-op by the structure it touches; sub-ops with
+// the same key must execute sequentially in envelope order
+// (read-your-writes), distinct keys may fan as parallel-nested
+// grandchildren.
+func txGroupKey(op *TxOp) string {
+	switch op.Op {
+	case OpMapGet, OpMapPut, OpMapDelete, OpMapLen, OpMapAdd:
+		return "m\x00" + op.Name
+	case OpQueuePush, OpQueuePop, OpQueueLen:
+		return "q\x00" + op.Name
+	case OpCounterAdd, OpCounterSum:
+		return "c\x00" + op.Name
+	case OpAssertEq, OpAssertGE:
+		if op.Key != "" {
+			return "m\x00" + op.Name
+		}
+		return "c\x00" + op.Name
+	}
+	return "?"
+}
+
+// txOpFailure is one group's first failure inside an envelope: the
+// envelope-order index of the failing sub-op plus its error (errRejected
+// for a false guard, anything else for a malformed op).
+type txOpFailure struct {
+	idx int
+	err error
+	msg string
+}
+
+// minTxOpsForFanout is the envelope size below which forking parallel
+// grandchildren is not worth the worker wakeups: point-op envelopes (a
+// three-line checkout, a CAS pair) run their groups inline — the batch
+// level above already fans sibling requests — while bulk envelopes
+// (multi-structure ingests, wide audits) amortize one fork per
+// structure group over many ops, the same economics as stmlib's bulk
+// operations.
+const minTxOpsForFanout = 16
+
+// applyTx executes one OpTx envelope inside the request's nested child
+// transaction: sub-ops are grouped by the structure they touch,
+// same-structure sub-ops run sequentially in envelope order (so a get
+// observes an earlier put of the same envelope — read-your-writes), and
+// distinct structures fan out as parallel-nested grandchild transactions
+// when the envelope is large enough to pay for the forks. A false guard
+// or malformed sub-op aborts the WHOLE envelope — every group's writes
+// roll back with the child transaction — reporting the lowest failing
+// op index in resp.Num and whatever executed in resp.TxResults.
+func applyTx(c *pnstm.Ctx, reg *stmlib.Registry, tx *Tx, resp *Response) error {
+	if tx == nil || len(tx.Ops) == 0 {
+		return nil
+	}
+	ops := tx.Ops
+	resp.TxResults = make([]TxResult, len(ops))
+
+	// Group sub-ops by structure, preserving first-touch order.
+	var order []string
+	groups := make(map[string][]int)
+	for i := range ops {
+		k := txGroupKey(&ops[i])
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	fails := make([]*txOpFailure, len(order))
 	return c.Atomic(func(c *pnstm.Ctx) error {
-		// The body may retry after a conflict abort: clear the rejected-
-		// SKU marker a discarded attempt may have left, or a successful
-		// retry would ack StatusOK with a stale failure Msg.
+		// The body may retry after a conflict abort: re-judge every sub-op
+		// on the final attempt only.
+		for i := range resp.TxResults {
+			resp.TxResults[i] = TxResult{}
+		}
 		resp.Msg = ""
 		resp.Num = 0
-		stock := reg.Map(req.Name)
-		var units int64
-		for _, ln := range co.Lines {
-			if ln.Qty <= 0 {
-				// A non-positive quantity would mint stock (have − qty grows)
-				// and credit negative units; it is a malformed request.
-				return fmt.Errorf("checkout line %q: quantity %d must be positive", ln.SKU, ln.Qty)
-			}
-			raw, ok := stock.Get(c, ln.SKU)
-			var have int64
-			if ok {
-				v, err := DecodeInt64(raw)
-				if err != nil {
-					return err
+
+		runGroup := func(c *pnstm.Ctx, slot int, keys []string) {
+			for _, k := range keys {
+				fails[slot] = nil
+				for _, i := range groups[k] {
+					msg, err := applyTxOp(c, reg, &ops[i], &resp.TxResults[i])
+					if err != nil {
+						fails[slot] = &txOpFailure{idx: i, err: err, msg: msg}
+						break // abandon this group; the envelope is aborting
+					}
 				}
-				have = v
+				if fails[slot] != nil {
+					break
+				}
 			}
-			if have < ln.Qty {
-				resp.Msg = ln.SKU
-				return errRejected // rolls back every line of this checkout
+		}
+
+		if len(order) == 1 || len(ops) < minTxOpsForFanout {
+			runGroup(c, 0, order)
+		} else {
+			fns := make([]func(*pnstm.Ctx), len(order))
+			for g := range order {
+				g := g
+				fns[g] = func(c *pnstm.Ctx) {
+					_ = c.Atomic(func(c *pnstm.Ctx) error {
+						runGroup(c, g, order[g:g+1])
+						return nil
+					})
+				}
 			}
-			stock.Put(c, ln.SKU, EncodeInt64(have-ln.Qty))
-			units += ln.Qty
+			c.Parallel(fns...)
 		}
-		if co.Sold != "" {
-			reg.Counter(co.Sold).Add(c, units)
+
+		// Lowest envelope index wins when several groups failed in
+		// parallel, so the reported FailedOpIndex is deterministic.
+		var first *txOpFailure
+		for _, f := range fails {
+			if f != nil && (first == nil || f.idx < first.idx) {
+				first = f
+			}
 		}
-		if co.Revenue != "" {
-			reg.Counter(co.Revenue).Add(c, co.Cents)
+		if first == nil {
+			return nil
 		}
-		resp.Num = units
-		return nil
+		resp.Num = int64(first.idx)
+		resp.Msg = first.msg
+		if !errors.Is(first.err, errRejected) {
+			resp.Msg = "" // StatusErr path: Msg carries first.err below
+			return fmt.Errorf("op %d: %w", first.idx, first.err)
+		}
+		return errRejected // rolls back every group of this envelope
 	})
+}
+
+// applyTxOp executes one sub-op in the group's context and fills its
+// result slot. A non-nil error aborts the envelope; for a false guard it
+// is errRejected and msg describes the failed assertion.
+func applyTxOp(c *pnstm.Ctx, reg *stmlib.Registry, op *TxOp, res *TxResult) (msg string, err error) {
+	*res = TxResult{Status: StatusOK}
+	switch op.Op {
+	case OpMapGet:
+		res.Value, res.Found = reg.Map(op.Name).Get(c, op.Key)
+	case OpMapPut:
+		reg.Map(op.Name).Put(c, op.Key, op.Value)
+	case OpMapDelete:
+		res.Found = reg.Map(op.Name).Delete(c, op.Key)
+	case OpMapLen:
+		res.Num = int64(reg.Map(op.Name).Len(c))
+	case OpQueuePush:
+		reg.Queue(op.Name).Push(c, op.Value)
+	case OpQueuePop:
+		res.Value, res.Found = reg.Queue(op.Name).Pop(c)
+	case OpQueueLen:
+		res.Num = int64(reg.Queue(op.Name).Len(c))
+	case OpCounterAdd:
+		reg.Counter(op.Name).Add(c, op.Delta)
+	case OpCounterSum:
+		// Inline stripe reads: the envelope's groups (and its batch
+		// siblings) are the parallelism; per-read forks would only cost
+		// dispatch.
+		res.Num = reg.Counter(op.Name).SumInline(c)
+	case OpMapAdd:
+		res.Num, res.Found, err = mapAdd(c, reg, op.Name, op.Key, op.Delta)
+	case OpAssertEq:
+		if op.Key == "" {
+			res.Num = reg.Counter(op.Name).SumInline(c)
+			if gmsg, ok := judgeCounterGuard(op, res.Num); !ok {
+				res.Status = StatusRejected
+				return gmsg, errRejected
+			}
+		} else {
+			raw, ok := reg.Map(op.Name).Get(c, op.Key)
+			res.Found = ok
+			if ok != (op.Value != nil) || !bytes.Equal(raw, op.Value) {
+				res.Status = StatusRejected
+				return fmt.Sprintf("assert: map %q[%q] differs", op.Name, op.Key), errRejected
+			}
+		}
+	case OpAssertGE:
+		if op.Key == "" {
+			res.Num = reg.Counter(op.Name).SumInline(c)
+			if gmsg, ok := judgeCounterGuard(op, res.Num); !ok {
+				res.Status = StatusRejected
+				return gmsg, errRejected
+			}
+		} else {
+			raw, ok := reg.Map(op.Name).Get(c, op.Key)
+			res.Found = ok
+			if ok {
+				v, derr := DecodeInt64(raw)
+				if derr != nil {
+					return "", derr
+				}
+				res.Num = v
+			}
+			if res.Num < op.Delta {
+				res.Status = StatusRejected
+				return fmt.Sprintf("assert: map %q[%q] = %d, want >= %d", op.Name, op.Key, res.Num, op.Delta), errRejected
+			}
+		}
+	default:
+		return "", fmt.Errorf("invalid sub-opcode %d", op.Op)
+	}
+	return "", err
+}
+
+// judgeCounterGuard evaluates a counter guard against an observed sum —
+// the ONE implementation shared by the single-shard execution path
+// (applyTxOp, shard-local partial) and the read-only fan's merge step
+// (fanTx, global total), so the two paths cannot drift in semantics or
+// failure text.
+func judgeCounterGuard(op *TxOp, total int64) (msg string, ok bool) {
+	switch op.Op {
+	case OpAssertEq:
+		if total != op.Delta {
+			return fmt.Sprintf("assert: counter %q = %d, want %d", op.Name, total, op.Delta), false
+		}
+	case OpAssertGE:
+		if total < op.Delta {
+			return fmt.Sprintf("assert: counter %q = %d, want >= %d", op.Name, total, op.Delta), false
+		}
+	}
+	return "", true
 }
 
 // batchStats is the batcher's contribution to ServerStats.

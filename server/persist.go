@@ -54,67 +54,140 @@ func decodeBatch(body []byte) ([]*Request, error) {
 	return reqs, nil
 }
 
-// canMutate reports whether an opcode can change the store at all —
-// the static filter deciding which requests need the commit-order
-// ticket wrapper.
-func canMutate(op uint8) bool {
+// writeSubOp reports whether a sub-opcode can change the store.
+func writeSubOp(op uint8) bool {
 	switch op {
-	case OpMapPut, OpMapDelete, OpQueuePush, OpQueuePop, OpCounterAdd, OpCheckout:
+	case OpMapPut, OpMapDelete, OpMapAdd, OpQueuePush, OpQueuePop, OpCounterAdd:
 		return true
 	}
 	return false
 }
 
+// canMutate reports whether a request can change the store at all —
+// the static filter deciding which requests need the commit-order
+// ticket wrapper. A pure-read envelope (gets, lens, sums, guards)
+// skips the wrapper like any other read.
+func canMutate(req *Request) bool {
+	switch req.Op {
+	case OpMapPut, OpMapDelete, OpMapAdd, OpQueuePush, OpQueuePop, OpCounterAdd, OpCheckout:
+		return true
+	case OpTx:
+		for i := range req.Tx.Ops {
+			if writeSubOp(req.Tx.Ops[i].Op) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // mutating reports whether the executed request changed the store —
-// only those are logged. Rejected checkouts, missed deletes/pops and
+// only those are logged. Rejected envelopes, missed deletes/pops and
 // all pure reads left nothing to redo.
 func mutating(req *Request, resp *Response) bool {
 	if resp.Status != StatusOK {
 		return false
 	}
 	switch req.Op {
-	case OpMapPut, OpQueuePush, OpCounterAdd, OpCheckout:
+	case OpMapPut, OpMapAdd, OpQueuePush, OpCounterAdd, OpCheckout:
 		return true
 	case OpMapDelete, OpQueuePop:
 		return resp.Found
+	case OpTx:
+		for i := range req.Tx.Ops {
+			switch req.Tx.Ops[i].Op {
+			case OpMapPut, OpMapAdd, OpQueuePush, OpCounterAdd:
+				return true
+			case OpMapDelete, OpQueuePop:
+				if i < len(resp.TxResults) && resp.TxResults[i].Found {
+					return true
+				}
+			}
+		}
 	}
 	return false
 }
 
-// replayGroupKey buckets a logged request by the structure it mutates.
+// replayGroups lists the structure group keys a logged request touches.
 // Replay applies same-structure requests sequentially in logged order
 // (their live serialization order) and different structures in
-// parallel; counter adds commute, so checkout rides with its stock map
-// and its counter credits need no ordering of their own.
-func replayGroupKey(req *Request) string {
+// parallel. A single-structure request touches one group; an OpTx
+// envelope touches every structure any sub-op reads or writes — guards
+// included, because a guard's outcome on replay must observe the same
+// per-structure state it did live.
+func replayGroups(req *Request) []string {
 	switch req.Op {
-	case OpMapPut, OpMapDelete, OpCheckout:
-		return "m\x00" + req.Name
+	case OpMapPut, OpMapDelete, OpMapAdd:
+		return []string{"m\x00" + req.Name}
 	case OpQueuePush, OpQueuePop:
-		return "q\x00" + req.Name
+		return []string{"q\x00" + req.Name}
 	case OpCounterAdd:
-		return "c\x00" + req.Name
+		return []string{"c\x00" + req.Name}
+	case OpTx:
+		var keys []string
+		seen := make(map[string]bool, len(req.Tx.Ops))
+		for i := range req.Tx.Ops {
+			k := txGroupKey(&req.Tx.Ops[i])
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		return keys
 	}
-	return "?"
+	return []string{"?"}
 }
 
 // replayBatch re-executes one logged batch: a root transaction whose
 // nested children are the logged requests, spread over ≤ fanout
 // parallel blocks by structure. Within a structure the logged order is
 // the commit order, so the recovered state matches the pre-crash store
-// exactly.
+// exactly. Multi-structure envelopes (OpTx) glue their structures into
+// one replay component (union-find): every request touching ANY of
+// those structures replays sequentially with the envelope, in logged
+// order, so envelope guards and read-modify-write sub-ops observe
+// exactly the per-structure history they observed live; disjoint
+// components still replay concurrently.
 func replayBatch(rt *pnstm.Runtime, reg *stmlib.Registry, fanout int, reqs []*Request) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	// Union the group keys each request touches, then bucket requests by
+	// their component root, preserving logged order within a component.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(k string) string {
+		p, ok := parent[k]
+		if !ok || p == k {
+			parent[k] = k
+			return k
+		}
+		root := find(p)
+		parent[k] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	touched := make([][]string, len(reqs))
+	for i, r := range reqs {
+		keys := replayGroups(r)
+		touched[i] = keys
+		for _, k := range keys[1:] {
+			union(keys[0], k)
+		}
+	}
 	var order []string
 	groups := make(map[string][]*Request)
-	for _, r := range reqs {
-		k := replayGroupKey(r)
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
+	for i, r := range reqs {
+		root := find(touched[i][0])
+		if _, ok := groups[root]; !ok {
+			order = append(order, root)
 		}
-		groups[k] = append(groups[k], r)
+		groups[root] = append(groups[root], r)
 	}
 	blocks := fanout
 	if blocks > len(order) {

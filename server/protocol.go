@@ -21,12 +21,17 @@ import (
 //	request:  u64 id | u8 op | u16+name | u16+key | u32+value | i64 delta
 //	          [op == OpCheckout: u16 nlines, nlines × (u16+sku, i64 qty),
 //	           u16+sold, u16+revenue, i64 cents]
+//	          [op == OpTx: u16 nops, nops ×
+//	           (u8 op | u16+name | u16+key | u32+value | i64 delta)]
 //	response: u64 id | u8 status | u8 found | i64 num | u32+value | u16+msg
+//	          | u16 nresults, nresults × (u8 status | u8 found | i64 num | u32+value)
 //
 // u16+s / u32+b denote a length-prefixed string / byte slice. Responses
 // share one body layout across ops: Found answers map-get / map-delete /
 // queue-pop, Num carries lengths and sums, Value carries get/pop payloads
 // and the OpStats JSON blob, Msg carries the error text for StatusErr.
+// The trailing results vector is non-empty only for OpTx responses: one
+// entry per sub-op, in envelope order.
 
 // MaxFrame bounds a single frame's payload; larger frames are rejected
 // as malformed (protects both sides from a corrupt length prefix).
@@ -44,8 +49,42 @@ const (
 	OpQueueLen
 	OpCounterAdd
 	OpCounterSum
+	// OpCheckout is the legacy composite order operation. DEPRECATED: it
+	// is kept as a REQUEST-side alias only — ParseRequest translates it
+	// into the equivalent OpTx envelope at decode time, so nothing past
+	// the decoder ever executes a checkout-shaped special case, and WAL
+	// records written before the envelope era replay through the generic
+	// path. Note the alias does not preserve the old RESPONSE framing
+	// (every response now carries the trailing results vector; client
+	// and server versions move together), and the reply to a translated
+	// checkout is the envelope-shaped one. New clients build the
+	// transaction themselves (client.Txn).
 	OpCheckout
 	OpStats
+	// OpTx is the generalized transaction envelope: an ordered list of
+	// sub-ops executed as ONE atomic transaction (one nested child of the
+	// group-commit batch, sub-ops grouped by structure and fanned as
+	// parallel-nested grandchildren). Sub-ops see earlier writes of the
+	// same envelope on the same structure (read-your-writes); a failed
+	// guard or malformed sub-op aborts and rolls back the whole envelope.
+	OpTx
+
+	// Sub-opcodes valid inside an OpTx envelope (OpMapAdd is also a valid
+	// top-level request). Guards never mutate; a false guard aborts the
+	// envelope with StatusRejected and Num = the failing op's index.
+	//
+	// OpMapAdd: add Delta to the int64-encoded map value under Key
+	// (absent reads as 0); result Num is the new value, Found whether the
+	// key existed before.
+	OpMapAdd
+	// OpAssertEq: with Key != "", assert the map value under Key equals
+	// Value byte-for-byte (nil Value asserts the key is absent); with
+	// Key == "", assert the named counter's sum equals Delta.
+	OpAssertEq
+	// OpAssertGE: with Key != "", assert the int64-encoded map value
+	// under Key (absent reads as 0) is ≥ Delta; with Key == "", assert
+	// the named counter's sum is ≥ Delta.
+	OpAssertGE
 )
 
 // Response statuses.
@@ -53,14 +92,48 @@ const (
 	// StatusOK: the operation committed (for map get / queue pop, check
 	// Found for whether the key/element existed).
 	StatusOK uint8 = iota + 1
-	// StatusRejected: the operation's own precondition failed (checkout
-	// with insufficient stock) and its transaction was rolled back; the
-	// rest of the batch is unaffected.
+	// StatusRejected: the operation's own precondition failed (a false
+	// OpTx guard) and its transaction was rolled back; the rest of the
+	// batch is unaffected. For OpTx, Num is the failing op's index and
+	// TxResults holds what executed before the abort.
 	StatusRejected
 	// StatusErr: the request was malformed or the server is shutting
 	// down; Msg carries the reason.
 	StatusErr
+	// StatusCrossShard: a mutating OpTx envelope touched structures
+	// living on different shards; the transaction was not executed.
+	// Clients surface this as a typed error (client.ErrCrossShard) —
+	// split the transaction or co-locate the structures by name.
+	StatusCrossShard
 )
+
+// TxOp is one sub-operation of an OpTx envelope. Op is one of the
+// structure opcodes (OpMapGet…OpCounterSum, OpMapAdd) or a guard
+// (OpAssertEq, OpAssertGE); Name addresses the structure and
+// Key/Value/Delta are op-specific exactly as in a top-level Request.
+type TxOp struct {
+	Op    uint8
+	Name  string
+	Key   string
+	Value []byte
+	Delta int64
+}
+
+// Tx is the decoded OpTx envelope body.
+type Tx struct {
+	Ops []TxOp
+}
+
+// TxResult is one sub-op's outcome inside an OpTx response. Status 0
+// means the op never executed (a preceding failure aborted the
+// envelope); StatusOK carries the op's Found/Num/Value exactly as a
+// top-level response would; StatusRejected marks the failing guard.
+type TxResult struct {
+	Status uint8
+	Found  bool
+	Num    int64
+	Value  []byte
+}
 
 // CheckoutLine is one (SKU, quantity) order line.
 type CheckoutLine struct {
@@ -82,8 +155,10 @@ type Checkout struct {
 }
 
 // Request is one decoded client operation. Name addresses the structure;
-// Key/Value/Delta are op-specific; Checkout is non-nil only for
-// OpCheckout (whose stock map is Name).
+// Key/Value/Delta are op-specific; Checkout is non-nil only on requests
+// built in-process with Op == OpCheckout (ParseRequest never yields one:
+// it translates the legacy opcode to an OpTx envelope); Tx is non-nil
+// only for OpTx.
 type Request struct {
 	ID       uint64
 	Op       uint8
@@ -92,17 +167,20 @@ type Request struct {
 	Value    []byte
 	Delta    int64
 	Checkout *Checkout
+	Tx       *Tx
 }
 
 // Response is one decoded server reply; see the body-layout comment
-// above for which fields each op uses.
+// above for which fields each op uses. TxResults is per-sub-op outcomes,
+// non-empty only for OpTx.
 type Response struct {
-	ID     uint64
-	Status uint8
-	Found  bool
-	Num    int64
-	Value  []byte
-	Msg    string
+	ID        uint64
+	Status    uint8
+	Found     bool
+	Num       int64
+	Value     []byte
+	Msg       string
+	TxResults []TxResult
 }
 
 // EncodeInt64 renders v as the 8-byte big-endian map value the integer
@@ -164,7 +242,39 @@ func checkRequestLimits(req *Request) error {
 			}
 		}
 	}
+	if tx := req.Tx; tx != nil {
+		if len(tx.Ops) > maxStr {
+			return fmt.Errorf("server: transaction with %d ops exceeds limit %d", len(tx.Ops), maxStr)
+		}
+		for i := range tx.Ops {
+			op := &tx.Ops[i]
+			if !validSubOp(op.Op) {
+				return fmt.Errorf("server: op %d: invalid sub-opcode %d", i, op.Op)
+			}
+			if len(op.Name) > maxStr || len(op.Key) > maxStr {
+				return fmt.Errorf("server: op %d: name/key longer than %d bytes", i, maxStr)
+			}
+			if len(op.Value) > MaxFrame/2 {
+				return fmt.Errorf("server: op %d: value of %d bytes exceeds limit %d", i, len(op.Value), MaxFrame/2)
+			}
+		}
+	}
 	return nil
+}
+
+// validSubOp reports whether op may appear inside an OpTx envelope:
+// the structure point ops plus the guards — never Ping/Stats, never the
+// composite opcodes (envelopes do not nest on the wire; the runtime's
+// nesting is the server's concern).
+func validSubOp(op uint8) bool {
+	switch op {
+	case OpMapGet, OpMapPut, OpMapDelete, OpMapLen,
+		OpQueuePush, OpQueuePop, OpQueueLen,
+		OpCounterAdd, OpCounterSum,
+		OpMapAdd, OpAssertEq, OpAssertGE:
+		return true
+	}
+	return false
 }
 
 // AppendRequest appends req as a complete frame (length prefix
@@ -196,6 +306,21 @@ func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 		buf = appendU16Str(buf, co.Revenue)
 		buf = appendI64(buf, co.Cents)
 	}
+	if req.Op == OpTx {
+		tx := req.Tx
+		if tx == nil {
+			tx = &Tx{}
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(tx.Ops)))
+		for i := range tx.Ops {
+			op := &tx.Ops[i]
+			buf = append(buf, op.Op)
+			buf = appendU16Str(buf, op.Name)
+			buf = appendU16Str(buf, op.Key)
+			buf = appendU32Bytes(buf, op.Value)
+			buf = appendI64(buf, op.Delta)
+		}
+	}
 	// Per-field limits cannot bound the sum (a many-line checkout can
 	// pass each check yet overflow the frame), so enforce the total
 	// here: a frame the peer would reject — tearing down the whole
@@ -209,11 +334,18 @@ func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 
 // AppendResponse appends resp as a complete frame (length prefix
 // included). An over-long Msg (server-generated error text) is clamped
-// to its u16 prefix rather than corrupting the frame.
+// to its u16 prefix rather than corrupting the frame, as is an
+// over-long results vector (a server never produces one: sub-op counts
+// are bounded by the request's own u16 prefix).
 func AppendResponse(buf []byte, resp *Response) []byte {
 	if len(resp.Msg) > 1<<16-1 {
 		clamped := *resp
 		clamped.Msg = resp.Msg[:1<<16-1]
+		resp = &clamped
+	}
+	if len(resp.TxResults) > 1<<16-1 {
+		clamped := *resp
+		clamped.TxResults = resp.TxResults[:1<<16-1]
 		resp = &clamped
 	}
 	start := len(buf)
@@ -228,6 +360,18 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 	buf = appendI64(buf, resp.Num)
 	buf = appendU32Bytes(buf, resp.Value)
 	buf = appendU16Str(buf, resp.Msg)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(resp.TxResults)))
+	for i := range resp.TxResults {
+		r := &resp.TxResults[i]
+		buf = append(buf, r.Status)
+		if r.Found {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = appendI64(buf, r.Num)
+		buf = appendU32Bytes(buf, r.Value)
+	}
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
 }
@@ -332,7 +476,10 @@ func (c *cursor) done() error {
 	return nil
 }
 
-// ParseRequest decodes one request frame payload.
+// ParseRequest decodes one request frame payload. The legacy OpCheckout
+// opcode is translated to its equivalent OpTx envelope here, at the
+// decode boundary — everything downstream (execution, shard routing,
+// WAL logging and replay) sees only the generic envelope.
 func ParseRequest(frame []byte) (*Request, error) {
 	c := &cursor{b: frame}
 	req := &Request{
@@ -354,16 +501,77 @@ func ParseRequest(frame []byte) (*Request, error) {
 		co.Cents = c.i64()
 		req.Checkout = co
 	}
+	if req.Op == OpTx {
+		tx := &Tx{}
+		n := int(c.u16())
+		for i := 0; i < n && c.err == nil; i++ {
+			tx.Ops = append(tx.Ops, TxOp{
+				Op:    c.u8(),
+				Name:  c.str16(),
+				Key:   c.str16(),
+				Value: c.bytes32(),
+				Delta: c.i64(),
+			})
+		}
+		req.Tx = tx
+	}
 	if err := c.done(); err != nil {
 		return nil, err
 	}
-	if req.Op == 0 || req.Op > OpStats {
+	if req.Op == 0 || (req.Op > OpTx && req.Op != OpMapAdd) {
 		return nil, fmt.Errorf("server: unknown opcode %d", req.Op)
+	}
+	if req.Op == OpTx {
+		for i := range req.Tx.Ops {
+			if !validSubOp(req.Tx.Ops[i].Op) {
+				return nil, fmt.Errorf("server: op %d: invalid sub-opcode %d", i, req.Tx.Ops[i].Op)
+			}
+		}
+	}
+	if req.Op == OpCheckout {
+		tx, err := CheckoutTx(req.Name, req.Checkout)
+		if err != nil {
+			return nil, err
+		}
+		req.Op, req.Name, req.Checkout, req.Tx = OpTx, "", nil, tx
 	}
 	return req, nil
 }
 
-// ParseResponse decodes one response frame payload.
+// CheckoutTx renders the legacy checkout composite as its OpTx
+// envelope: per order line an OpAssertGE stock guard followed by the
+// OpMapAdd decrement, then the counter credits. This is the SAME shape
+// client.Checkout builds, so a wire-level OpCheckout and a client-built
+// transaction produce byte-identical store state and WAL records.
+func CheckoutTx(stockMap string, co *Checkout) (*Tx, error) {
+	if co == nil {
+		co = &Checkout{}
+	}
+	tx := &Tx{Ops: make([]TxOp, 0, 2*len(co.Lines)+2)}
+	var units int64
+	for _, ln := range co.Lines {
+		if ln.Qty <= 0 {
+			// A non-positive quantity would mint stock (have − qty grows)
+			// and credit negative units; it is a malformed request.
+			return nil, fmt.Errorf("server: checkout line %q: quantity %d must be positive", ln.SKU, ln.Qty)
+		}
+		tx.Ops = append(tx.Ops,
+			TxOp{Op: OpAssertGE, Name: stockMap, Key: ln.SKU, Delta: ln.Qty},
+			TxOp{Op: OpMapAdd, Name: stockMap, Key: ln.SKU, Delta: -ln.Qty})
+		units += ln.Qty
+	}
+	if co.Sold != "" {
+		tx.Ops = append(tx.Ops, TxOp{Op: OpCounterAdd, Name: co.Sold, Delta: units})
+	}
+	if co.Revenue != "" {
+		tx.Ops = append(tx.Ops, TxOp{Op: OpCounterAdd, Name: co.Revenue, Delta: co.Cents})
+	}
+	return tx, nil
+}
+
+// ParseResponse decodes one response frame payload, rejecting unknown
+// status bytes — both the top-level status and every per-sub-op result
+// status (0 is legal there: the op never executed).
 func ParseResponse(frame []byte) (*Response, error) {
 	c := &cursor{b: frame}
 	resp := &Response{
@@ -374,11 +582,27 @@ func ParseResponse(frame []byte) (*Response, error) {
 		Value:  c.bytes32(),
 		Msg:    c.str16(),
 	}
+	if n := int(c.u16()); n > 0 && c.err == nil {
+		resp.TxResults = make([]TxResult, 0, min(n, 1024))
+		for i := 0; i < n && c.err == nil; i++ {
+			resp.TxResults = append(resp.TxResults, TxResult{
+				Status: c.u8(),
+				Found:  c.u8() == 1,
+				Num:    c.i64(),
+				Value:  c.bytes32(),
+			})
+		}
+	}
 	if err := c.done(); err != nil {
 		return nil, err
 	}
-	if resp.Status == 0 || resp.Status > StatusErr {
+	if resp.Status == 0 || resp.Status > StatusCrossShard {
 		return nil, fmt.Errorf("server: unknown status %d", resp.Status)
+	}
+	for i := range resp.TxResults {
+		if st := resp.TxResults[i].Status; st > StatusCrossShard {
+			return nil, fmt.Errorf("server: op %d: unknown result status %d", i, st)
+		}
 	}
 	return resp, nil
 }

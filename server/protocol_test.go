@@ -39,20 +39,60 @@ func TestRequestRoundTripEveryOp(t *testing.T) {
 		{ID: 9, Op: OpCounterAdd, Name: "c", Delta: -42},
 		{ID: 10, Op: OpCounterSum, Name: "c"},
 		{ID: 11, Op: OpStats},
-		{ID: 12, Op: OpCheckout, Name: "stock", Checkout: &Checkout{
-			Sold:    "sold",
-			Revenue: "rev",
-			Cents:   1250,
-			Lines:   []CheckoutLine{{SKU: "anvil", Qty: 2}, {SKU: "cog", Qty: 1}},
-		}},
+		{ID: 12, Op: OpMapAdd, Name: "m", Key: "k", Delta: -3},
+		{ID: 13, Op: OpTx, Tx: &Tx{Ops: []TxOp{
+			{Op: OpAssertGE, Name: "stock", Key: "anvil", Delta: 2},
+			{Op: OpMapAdd, Name: "stock", Key: "anvil", Delta: -2},
+			{Op: OpMapPut, Name: "m", Key: "k", Value: []byte("v")},
+			{Op: OpMapGet, Name: "m", Key: "k"},
+			{Op: OpQueuePush, Name: "q", Value: []byte{7}},
+			{Op: OpQueuePop, Name: "q"},
+			{Op: OpCounterAdd, Name: "c", Delta: 5},
+			{Op: OpCounterSum, Name: "c"},
+			{Op: OpAssertEq, Name: "c", Delta: 5},
+			{Op: OpAssertEq, Name: "m", Key: "k", Value: []byte("v")},
+		}}},
 	}
 	for _, req := range reqs {
 		back := roundTripRequest(t, req)
-		// Non-checkout requests decode with a nil Checkout; empty slices
-		// normalize to nil.
+		// Requests without a composite body decode with nil Checkout/Tx;
+		// empty slices normalize to nil.
 		if !reflect.DeepEqual(req, back) {
 			t.Errorf("op %d: round trip mismatch:\n  sent %+v\n  got  %+v", req.Op, req, back)
 		}
+	}
+}
+
+// TestCheckoutTranslatesToTx pins the deprecated-alias contract: an
+// OpCheckout frame decodes as the equivalent OpTx envelope — the exact
+// shape CheckoutTx (and client.Checkout) builds — and never reaches the
+// executor as a checkout.
+func TestCheckoutTranslatesToTx(t *testing.T) {
+	co := &Checkout{
+		Sold:    "sold",
+		Revenue: "rev",
+		Cents:   1250,
+		Lines:   []CheckoutLine{{SKU: "anvil", Qty: 2}, {SKU: "cog", Qty: 1}},
+	}
+	back := roundTripRequest(t, &Request{ID: 12, Op: OpCheckout, Name: "stock", Checkout: co})
+	if back.Op != OpTx || back.Checkout != nil || back.Tx == nil {
+		t.Fatalf("checkout did not translate: %+v", back)
+	}
+	want, err := CheckoutTx("stock", co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Tx, want) {
+		t.Errorf("translated envelope:\n  got  %+v\n  want %+v", back.Tx, want)
+	}
+	// The guard/decrement pairing is the contract the client's failed-SKU
+	// mapping relies on (line i ↔ ops 2i, 2i+1).
+	if len(want.Ops) != 2*len(co.Lines)+2 {
+		t.Fatalf("envelope has %d ops, want %d", len(want.Ops), 2*len(co.Lines)+2)
+	}
+	// Non-positive quantities are refused at translation.
+	if _, err := CheckoutTx("stock", &Checkout{Lines: []CheckoutLine{{SKU: "anvil", Qty: 0}}}); err == nil {
+		t.Error("zero-quantity checkout translated")
 	}
 }
 
@@ -63,6 +103,16 @@ func TestResponseRoundTrip(t *testing.T) {
 		{ID: 3, Status: StatusOK, Num: -7},
 		{ID: 4, Status: StatusRejected, Msg: "anvil"},
 		{ID: 5, Status: StatusErr, Msg: "boom"},
+		{ID: 6, Status: StatusCrossShard, Msg: "mutating transaction pins 2 shards"},
+		{ID: 7, Status: StatusOK, TxResults: []TxResult{
+			{Status: StatusOK, Found: true, Num: 3, Value: []byte("v")},
+			{Status: StatusOK},
+		}},
+		{ID: 8, Status: StatusRejected, Num: 1, Msg: "assert failed", TxResults: []TxResult{
+			{Status: StatusOK, Num: 2},
+			{Status: StatusRejected, Num: 0},
+			{}, // never executed
+		}},
 	}
 	for _, resp := range resps {
 		frame := AppendResponse(nil, resp)
@@ -98,8 +148,60 @@ func TestParseRejectsMalformedFrames(t *testing.T) {
 	if _, err := ParseRequest(bad); err == nil {
 		t.Error("unknown opcode accepted")
 	}
+	// Guards are envelope-only sub-opcodes, not top-level requests.
+	bad = append([]byte{}, payload...)
+	bad[8] = OpAssertGE
+	if _, err := ParseRequest(bad); err == nil {
+		t.Error("guard opcode accepted at top level")
+	}
 	if _, err := ParseResponse([]byte{1, 2, 3}); err == nil {
 		t.Error("short response accepted")
+	}
+	// An envelope smuggling a non-sub-opcode (a nested envelope, a stats
+	// call) must be refused at decode.
+	txFrame, err := AppendRequest(nil, &Request{ID: 1, Op: OpTx, Tx: &Tx{Ops: []TxOp{{Op: OpMapGet, Name: "m", Key: "k"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []uint8{OpTx, OpStats, OpPing, OpCheckout, 99} {
+		bad = append([]byte{}, txFrame[4:]...)
+		// The sub-op byte sits right after the common header (id 8 + op 1
+		// + name u16 + key u16 + value u32 + delta 8) plus the u16 count.
+		bad[8+1+2+2+4+8+2] = op
+		if _, err := ParseRequest(bad); err == nil {
+			t.Errorf("sub-opcode %d accepted inside an envelope", op)
+		}
+	}
+}
+
+// TestParseResponseRejectsUnknownStatus covers the status byte the same
+// way unknown opcodes are covered: top-level and per-sub-op result
+// statuses outside the defined set are decode errors, not silently
+// accepted values.
+func TestParseResponseRejectsUnknownStatus(t *testing.T) {
+	frame := AppendResponse(nil, &Response{ID: 1, Status: StatusOK})
+	payload := append([]byte{}, frame[4:]...)
+	for _, st := range []uint8{0, StatusCrossShard + 1, 200} {
+		payload[8] = st
+		if _, err := ParseResponse(payload); err == nil {
+			t.Errorf("status %d accepted", st)
+		}
+	}
+	frame = AppendResponse(nil, &Response{ID: 1, Status: StatusOK, TxResults: []TxResult{{Status: StatusOK}}})
+	payload = append([]byte{}, frame[4:]...)
+	// The sub-result status byte follows the fixed body (id 8 + status 1
+	// + found 1 + num 8 + value u32 + msg u16) plus the u16 count.
+	off := 8 + 1 + 1 + 8 + 4 + 2 + 2
+	for _, st := range []uint8{StatusCrossShard + 1, 255} {
+		payload[off] = st
+		if _, err := ParseResponse(payload); err == nil {
+			t.Errorf("sub-result status %d accepted", st)
+		}
+	}
+	// Status 0 IS legal for a sub-result: the op never executed.
+	payload[off] = 0
+	if _, err := ParseResponse(payload); err != nil {
+		t.Errorf("unexecuted sub-result rejected: %v", err)
 	}
 }
 

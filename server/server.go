@@ -597,6 +597,200 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
+// txPinnedShard computes the shard a sub-op pins the envelope to, if
+// any. Maps and queues live wholly on their name's shard, so any sub-op
+// touching one pins it there. Counter sub-ops never pin: counter state
+// is per-shard partials (D24) — adds credit the envelope's resolved
+// shard, and in-envelope sums/guards read that shard's partial (exact
+// on a 1-shard server; a global counter read is the top-level
+// OpCounterSum, which fans).
+func txPinnedShard(op *TxOp, n int) (int, bool) {
+	switch op.Op {
+	case OpMapGet, OpMapPut, OpMapDelete, OpMapLen, OpMapAdd:
+		return stmlib.ShardIndex(op.Name, n), true
+	case OpQueuePush, OpQueuePop, OpQueueLen:
+		return stmlib.ShardIndex(op.Name, n), true
+	case OpAssertEq, OpAssertGE:
+		if op.Key != "" { // map guard
+			return stmlib.ShardIndex(op.Name, n), true
+		}
+	}
+	return 0, false
+}
+
+// routeTx resolves an OpTx envelope's shard (D27). Every map/queue
+// sub-op pins its structure's home shard; the envelope executes on the
+// single pinned shard (or the first counter's home shard when nothing
+// pins — a counter-only envelope — so identical envelopes always meet
+// on the same shard). A MUTATING envelope pinned to several shards is
+// refused with StatusCrossShard: atomicity holds within one shard's
+// group-commit pipeline only. A read-only envelope may instead fan its
+// sub-ops across the pinned shards (see fanTx), reported here via
+// fan=true.
+func (s *Server) routeTx(req *Request) (target int, fan bool, resp *Response) {
+	n := len(s.shards)
+	if n == 1 {
+		return 0, false, nil
+	}
+	pinned := make(map[int]bool)
+	writes := false
+	first := -1
+	for i := range req.Tx.Ops {
+		op := &req.Tx.Ops[i]
+		if writeSubOp(op.Op) {
+			writes = true
+		}
+		if sh, ok := txPinnedShard(op, n); ok {
+			pinned[sh] = true
+			if first < 0 {
+				first = sh
+			}
+		}
+	}
+	switch {
+	case len(pinned) == 1:
+		return first, false, nil
+	case len(pinned) == 0:
+		// Counter-only envelope: route by the first counter's name.
+		return stmlib.ShardIndex(req.Tx.Ops[0].Name, n), false, nil
+	case writes:
+		return 0, false, &Response{ID: req.ID, Status: StatusCrossShard,
+			Msg: fmt.Sprintf("mutating transaction pins %d shards; split it or co-locate its structures", len(pinned))}
+	default:
+		return 0, true, nil
+	}
+}
+
+// fanTx answers a read-only multi-shard OpTx envelope: each pinned
+// sub-op rides its home shard's group-commit pipeline (batched with one
+// per-shard sub-envelope), counter reads fan EVERY shard as
+// OpCounterSum and sum their partials (exact totals, like the
+// top-level fan), and counter guards are evaluated on those summed
+// totals at merge time. Like fanCounterSum, the combined answer is not
+// one consistent cut across shards — each shard's slice is atomic on
+// that shard — which is the documented read-only-fan contract (D27).
+func (s *Server) fanTx(req *Request, deliver func(Response)) {
+	ops := req.Tx.Ops
+	n := len(s.shards)
+	perShard := make([][]TxOp, n) // sub-envelope per shard
+	slots := make([][]int, n)     // perShard[i][j] answers ops[slots[i][j]]
+	counterOps := make([]bool, len(ops))
+	for i := range ops {
+		op := ops[i]
+		if sh, ok := txPinnedShard(&op, n); ok {
+			perShard[sh] = append(perShard[sh], op)
+			slots[sh] = append(slots[sh], i)
+			continue
+		}
+		// Counter read (sum or guard): ask every shard for its partial;
+		// the guard itself is applied to the merged total below.
+		counterOps[i] = true
+		read := TxOp{Op: OpCounterSum, Name: op.Name}
+		for sh := 0; sh < n; sh++ {
+			perShard[sh] = append(perShard[sh], read)
+			slots[sh] = append(slots[sh], i)
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		merged = make([]TxResult, len(ops))
+		errMsg string
+		rejIdx = -1 // lowest envelope index of a failed pinned (map) guard
+		rejMsg string
+		wg     sync.WaitGroup
+	)
+	for sh := 0; sh < n; sh++ {
+		if len(perShard[sh]) == 0 {
+			continue
+		}
+		sub := &Request{ID: req.ID, Op: OpTx, Tx: &Tx{Ops: perShard[sh]}}
+		shardSlots := slots[sh]
+		wg.Add(1)
+		p := &pending{req: sub, deliver: func(resp Response) {
+			mu.Lock()
+			switch resp.Status {
+			case StatusOK:
+			case StatusRejected:
+				// A pinned map guard failed on its home shard: map the
+				// sub-envelope-local failing index back to envelope order
+				// so the caller's ErrTxAborted points at the right op.
+				gi := len(ops)
+				if i := int(resp.Num); i >= 0 && i < len(shardSlots) {
+					gi = shardSlots[i]
+				}
+				if rejIdx < 0 || gi < rejIdx {
+					rejIdx, rejMsg = gi, resp.Msg
+				}
+			default:
+				if errMsg == "" {
+					errMsg = resp.Msg
+					if errMsg == "" {
+						errMsg = "shard error"
+					}
+				}
+			}
+			for j, i := range shardSlots {
+				if j >= len(resp.TxResults) {
+					break
+				}
+				r := resp.TxResults[j]
+				if counterOps[i] {
+					merged[i].Status = StatusOK
+					merged[i].Num += r.Num // sum of per-shard partials
+				} else {
+					merged[i] = r
+				}
+			}
+			mu.Unlock()
+			wg.Done()
+		}}
+		if !s.shards[sh].b.submit(p) {
+			mu.Lock()
+			if errMsg == "" {
+				errMsg = "server closing"
+			}
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	go func() {
+		wg.Wait()
+		if errMsg != "" {
+			deliver(Response{ID: req.ID, Status: StatusErr, Msg: errMsg})
+			return
+		}
+		// Evaluate counter guards on the merged totals, then report the
+		// LOWEST failing guard across both kinds — pinned map guards
+		// (judged on their home shard above) and counter guards (judged
+		// here) — clearing later results like a single-shard abort would
+		// leave them. (Being a read-only envelope there is nothing to
+		// roll back.)
+		for i := range ops {
+			if !counterOps[i] {
+				continue
+			}
+			msg, ok := judgeCounterGuard(&ops[i], merged[i].Num)
+			if ok {
+				continue
+			}
+			if rejIdx < 0 || i < rejIdx {
+				rejIdx, rejMsg = i, msg
+				merged[i].Status = StatusRejected
+			}
+			break // later counter guards cannot lower the index
+		}
+		if rejIdx >= 0 && rejIdx < len(ops) {
+			for j := rejIdx + 1; j < len(merged); j++ {
+				merged[j] = TxResult{}
+			}
+			deliver(Response{ID: req.ID, Status: StatusRejected, Num: int64(rejIdx), Msg: rejMsg, TxResults: merged})
+			return
+		}
+		deliver(Response{ID: req.ID, Status: StatusOK, TxResults: merged})
+	}()
+}
+
 // fanCounterSum answers a counter read on a sharded server. Checkout
 // transactions credit their counters on the stock map's shard (the
 // transaction must be atomic within one shard), so a counter's total is
@@ -737,6 +931,24 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 			p := &pending{req: req, deliver: deliver}
 			if !s.shards[0].b.submit(p) {
+				deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
+			}
+		case OpTx:
+			if len(req.Tx.Ops) == 0 {
+				deliver(Response{ID: req.ID, Status: StatusOK})
+				continue
+			}
+			target, fan, errResp := s.routeTx(req)
+			if errResp != nil {
+				deliver(*errResp)
+				continue
+			}
+			if fan {
+				s.fanTx(req, deliver)
+				continue
+			}
+			p := &pending{req: req, deliver: deliver}
+			if !s.shards[target].b.submit(p) {
 				deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
 			}
 		default:

@@ -100,6 +100,25 @@ func (t *TCounter) Sum(c *pnstm.Ctx) int64 {
 	return total
 }
 
+// SumInline returns the counter's value by reading the stripes
+// sequentially in the caller's transaction — same atomic snapshot as
+// Sum, none of Sum's parallel-block forks. This is the right read
+// inside an already-parallel composition (a server batch child, a wire
+// transaction's per-structure group): there the caller's siblings keep
+// the workers busy, and per-read forks are pure dispatch overhead.
+func (t *TCounter) SumInline(c *pnstm.Ctx) int64 {
+	var total int64
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		var s int64
+		for _, stripe := range t.stripes {
+			s += pnstm.Load(c, stripe)
+		}
+		total = s
+		return nil
+	})
+	return total
+}
+
 // Reset sets the counter to zero, one nested child per stripe group.
 func (t *TCounter) Reset(c *pnstm.Ctx) {
 	_ = c.Atomic(func(c *pnstm.Ctx) error {

@@ -66,6 +66,34 @@ func TestTCounterParallelAdders(t *testing.T) {
 	})
 }
 
+// TestTCounterSumInlineAgreesWithSum: the sequential read is the same
+// atomic snapshot as the parallel-fanned one, in and out of enclosing
+// transactions, serial and parallel runtimes.
+func TestTCounterSumInlineAgreesWithSum(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serial=%v", serial), func(t *testing.T) {
+			rt := newRT(t, 4, serial)
+			ctr := stmlib.NewTCounter(8)
+			run(t, rt, func(c *pnstm.Ctx) {
+				_ = c.Atomic(func(c *pnstm.Ctx) error {
+					for i := 0; i < 30; i++ {
+						ctr.Add(c, int64(i))
+					}
+					if a, b := ctr.Sum(c), ctr.SumInline(c); a != b || a != 435 {
+						t.Errorf("Sum = %d, SumInline = %d, want 435", a, b)
+					}
+					return nil
+				})
+			})
+			run(t, rt, func(c *pnstm.Ctx) {
+				if a, b := ctr.Sum(c), ctr.SumInline(c); a != b || a != 435 {
+					t.Errorf("top-level Sum = %d, SumInline = %d, want 435", a, b)
+				}
+			})
+		})
+	}
+}
+
 // TestTCounterAbortUndoesAdds checks that aborting an enclosing
 // transaction undoes the adds of its committed parallel children.
 func TestTCounterAbortUndoesAdds(t *testing.T) {
