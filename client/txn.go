@@ -7,12 +7,14 @@ import (
 	"pnstm/server"
 )
 
-// ErrCrossShard is returned (wrapped) when a mutating transaction's
-// structures live on different shards of a sharded pnstmd. A mutating
-// transaction is atomic within one shard's group-commit pipeline only;
-// co-locate the structures (same shard by name hash) or split the
-// transaction. Read-only transactions never see this error — the server
-// fans them across shards instead. Test with errors.Is.
+// ErrCrossShard is returned (wrapped) when a PRE-D29 server refuses a
+// mutating transaction whose structures live on different shards.
+// Current servers no longer refuse: a mutating multi-shard transaction
+// commits atomically through the deterministic ordered-commit path
+// (gather → judge → apply under one global sequence number), so against
+// an up-to-date pnstmd this error does not occur. It is retained only
+// so clients talking to an older binary can classify the refusal. Test
+// with errors.Is.
 var ErrCrossShard = errors.New("transaction spans multiple shards")
 
 // ErrTxAborted is returned by Txn.Commit when the server rejected the
@@ -46,7 +48,11 @@ func (e *ErrTxAborted) Error() string {
 // envelope. Ops execute in the order they are added, atomically, with
 // read-your-writes across ops on the same structure; on the server the
 // whole envelope runs as one nested child of a group-commit batch, its
-// per-structure op groups fanned as parallel-nested grandchildren.
+// per-structure op groups fanned as parallel-nested grandchildren. On a
+// sharded server an envelope whose structures span several shards is
+// still one atomic commit: reads fan, and writes go through the
+// cross-shard ordered-commit path (one global sequence number, all
+// slices commit or none do).
 // Build errors (oversize fields) are deferred to Commit, so chains
 // never need intermediate checks:
 //
@@ -192,8 +198,9 @@ func (t *Txn) fail(err error) {
 //     by op order.
 //   - *ErrTxAborted (errors.As): a guard was false; nothing committed.
 //     The partial results show what the aborted attempt observed.
-//   - ErrCrossShard (errors.Is): a mutating transaction pinned several
-//     shards; nothing executed.
+//   - ErrCrossShard (errors.Is): only from a pre-D29 server refusing a
+//     mutating multi-shard transaction; current servers commit those
+//     atomically via the cross-shard ordered-commit path instead.
 //   - anything else: transport or server failure; for writes, assume
 //     unknown outcome (as with any RPC).
 func (t *Txn) Commit() (*TxResults, error) {

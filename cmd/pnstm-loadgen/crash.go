@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -25,6 +26,11 @@ import (
 //     are exactly 0..n-1 in FIFO order, n within [acked, attempted]
 //   - checkout: stock conservation and revenue consistency hold
 //     EXACTLY in any recovered state, and units sold ≥ units acked
+//   - cross-shard ledger: guarded transfers between account maps on
+//     different shards run throughout; the recovered ledger total
+//     equals the provisioned total EXACTLY — a kill that lands between
+//     a cross-shard commit's per-shard appends must recover to the
+//     whole transfer or none of it, never one shard's half
 //
 // The cross-process variant of the same drill — real kill -9 against a
 // pnstmd -data-dir, then -recovery-check — runs in CI.
@@ -86,6 +92,14 @@ func runCrash(cfg genCfg, workers, maxBatch, shards int, dataDir string, killAft
 			return fmt.Errorf("crash setup: %w", err)
 		}
 	}
+	for i := 0; i < acctMaps; i++ {
+		for j := 0; j < acctPerMap; j++ {
+			if err := cl.MapPutInt(acctMapName(i), acctKeyName(j), acctInitial); err != nil {
+				s.Close()
+				return fmt.Errorf("crash setup ledger: %w", err)
+			}
+		}
+	}
 
 	producers := cfg.concurrency / 2
 	if producers < 1 {
@@ -144,13 +158,46 @@ func runCrash(cfg genCfg, workers, maxBatch, shards int, dataDir string, killAft
 		}()
 	}
 
+	// Cross-shard movers: guarded transfers between account maps on
+	// (with shards > 1) different shards, running right through the
+	// kill. No tally needed — transfers are zero-sum, so the recovered
+	// ledger total is exact whatever subset of them survived.
+	var movedAcks atomic.Int64
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + 104729 + int64(g)))
+			for !stop.Load() {
+				src := rng.Intn(acctMaps)
+				dst := acctPartnerOf(src, shards)
+				srcKey := acctKeyName(rng.Intn(acctPerMap))
+				amt := int64(1 + rng.Intn(5))
+				_, err := cl.Txn().
+					AssertGE(acctMapName(src), srcKey, amt).
+					MapAddInt(acctMapName(src), srcKey, -amt).
+					MapAddInt(acctMapName(dst), acctKeyName(rng.Intn(acctPerMap)), amt).
+					Commit()
+				var aborted *client.ErrTxAborted
+				if errors.As(err, &aborted) {
+					continue // a guard lost: fine, nothing moved
+				}
+				if err != nil {
+					return // killed
+				}
+				movedAcks.Add(1)
+			}
+		}()
+	}
+
 	time.Sleep(killAfter)
 	s.Kill()
 	stop.Store(true)
 	wg.Wait()
 	cl.Close()
-	fmt.Printf("== killed pnstmd after %v: %d adds, %d units sold acked before the crash\n",
-		killAfter, tally.ackedAdds.Load(), tally.ackedSold.Load())
+	fmt.Printf("== killed pnstmd after %v: %d adds, %d units sold, %d cross-shard transfers acked before the crash\n",
+		killAfter, tally.ackedAdds.Load(), tally.ackedSold.Load(), movedAcks.Load())
 	if tally.ackedAdds.Load() == 0 && tally.ackedSold.Load() == 0 {
 		return fmt.Errorf("no load was acked before the kill; raise -kill-after")
 	}
@@ -309,6 +356,27 @@ func verifyCrashRecovery(cl *client.Client, cfg genCfg, tally *crashTally) ([]st
 	if sold < tally.ackedSold.Load() {
 		fail("recovered sold %d < acked sold %d: durable acks lost", sold, tally.ackedSold.Load())
 	}
+
+	// Cross-shard ledger: transfers are zero-sum, so the recovered
+	// total is EXACT — a torn cross-shard commit (one shard's half
+	// replayed without the other) is the only way it can drift.
+	var ledger int64
+	for i := 0; i < acctMaps; i++ {
+		for j := 0; j < acctPerMap; j++ {
+			v, ok, err := cl.MapGetInt(acctMapName(i), acctKeyName(j))
+			if err != nil || !ok {
+				fail("ledger %s/%s: ok=%v err=%v", acctMapName(i), acctKeyName(j), ok, err)
+				return out, rec
+			}
+			if v < 0 {
+				fail("ledger %s/%s overdrawn after recovery: %d", acctMapName(i), acctKeyName(j), v)
+			}
+			ledger += v
+		}
+	}
+	if want := int64(acctMaps) * int64(acctPerMap) * acctInitial; ledger != want {
+		fail("ledger total %d after recovery, want %d: a cross-shard transfer split", ledger, want)
+	}
 	return out, rec
 }
 
@@ -389,6 +457,38 @@ func runRecoveryCheck(addr string, cfg genCfg) error {
 		fail("map %q has %d keys after recovery, want %d", mapName, n, cfg.keys)
 	}
 
+	// Cross-shard ledger, when a crossshard load provisioned one (its
+	// meta records the layout durably; absent meta means no ledger ran
+	// on this data dir). Transfers are zero-sum, so the total is exact.
+	ledgerChecked := false
+	if acctTotal, ok, err := cl.MapGetInt(metaName, "acct_total"); err != nil {
+		return err
+	} else if ok {
+		ledgerChecked = true
+		maps := int(meta("acct_maps", acctMaps))
+		perMap := int(meta("acct_per_map", acctPerMap))
+		var ledger int64
+		for i := 0; i < maps; i++ {
+			for j := 0; j < perMap; j++ {
+				v, ok, err := cl.MapGetInt(acctMapName(i), acctKeyName(j))
+				if err != nil {
+					return fmt.Errorf("ledger %s/%s: %w", acctMapName(i), acctKeyName(j), err)
+				}
+				if !ok {
+					fail("ledger %s/%s missing after recovery", acctMapName(i), acctKeyName(j))
+					continue
+				}
+				if v < 0 {
+					fail("ledger %s/%s overdrawn after recovery: %d", acctMapName(i), acctKeyName(j), v)
+				}
+				ledger += v
+			}
+		}
+		if ledger != acctTotal {
+			fail("ledger total %d after recovery, want %d: a cross-shard transfer split", ledger, acctTotal)
+		}
+	}
+
 	for _, v := range violations {
 		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATED: %s\n", v)
 	}
@@ -397,5 +497,8 @@ func runRecoveryCheck(addr string, cfg genCfg) error {
 	}
 	fmt.Printf("recovery-check ok: %d SKUs, %d remaining + %d sold = %d, revenue consistent\n",
 		stocked, remaining, sold, remaining+sold)
+	if ledgerChecked {
+		fmt.Println("recovery-check ok: cross-shard ledger total conserved exactly")
+	}
 	return nil
 }

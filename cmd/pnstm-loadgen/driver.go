@@ -15,7 +15,7 @@ import (
 
 // genCfg parameterizes one load-generation run.
 type genCfg struct {
-	workload    string // readmap, queue, counter, checkout, mixed, txmix
+	workload    string // readmap, queue, counter, checkout, mixed, txmix, crossshard
 	concurrency int    // issuing goroutines
 	conns       int    // pooled client connections
 	duration    time.Duration
@@ -36,9 +36,9 @@ func (c *genCfg) runsCheckout() bool {
 
 func (c *genCfg) fillDefaults() error {
 	switch c.workload {
-	case "readmap", "queue", "counter", "checkout", "mixed", "txmix":
+	case "readmap", "queue", "counter", "checkout", "mixed", "txmix", "crossshard":
 	default:
-		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed or txmix)", c.workload)
+		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed, txmix or crossshard)", c.workload)
 	}
 	if c.concurrency <= 0 {
 		c.concurrency = 16
@@ -122,12 +122,17 @@ type driver struct {
 	rejected atomic.Int64
 	mapPuts  atomic.Int64
 
-	// txmix state: co-sharded queue pairs for atomic transfers, and
-	// acked-transfer / CAS tallies for the conservation verifiers.
+	// txmix state: queue pairs for atomic transfers (cross-shard pairs
+	// preferred — the ordered-commit path — with same-shard fallback),
+	// and acked-transfer / CAS tallies for the conservation verifiers.
 	txPairs    [][2]string
 	txPushed   atomic.Int64
 	txPopped   atomic.Int64
 	casApplied atomic.Int64
+
+	// crossshard state: acctPartners[i] is the transfer partner of
+	// ledger map i, on a different shard whenever one exists.
+	acctPartners []int
 
 	// base snapshots the server state right after setup so verify()
 	// compares deltas: a long-lived pnstmd carries counters and queue
@@ -161,6 +166,16 @@ const (
 	// counters) and transfers move elements between txQueueName queues.
 	casMapName = "bench:cas"
 	casSlots   = 64
+
+	// crossshard: an account ledger spread over acctMaps maps (hashing
+	// to different shards on a sharded server) with acctPerMap balances
+	// each. Every transfer is a guarded three-op envelope between TWO
+	// maps — on distinct shards whenever the layout allows — so the
+	// workload hammers the cross-shard ordered-commit path while the
+	// ledger total stays a closed-form constant.
+	acctMaps    = 8
+	acctPerMap  = 16
+	acctInitial = int64(1000)
 )
 
 func queueName(i int) string   { return fmt.Sprintf("bench:q%d", i) }
@@ -168,6 +183,8 @@ func keyName(i int) string     { return fmt.Sprintf("k%06d", i) }
 func skuName(i int) string     { return fmt.Sprintf("sku%03d", i) }
 func txQueueName(i int) string { return fmt.Sprintf("bench:txq%d", i) }
 func casKey(i int) string      { return fmt.Sprintf("slot%02d", i) }
+func acctMapName(i int) string { return fmt.Sprintf("bench:acct%d", i) }
+func acctKeyName(j int) string { return fmt.Sprintf("acct%02d", j) }
 
 // txQueueNames is the txmix transfer-queue pool: four queues per
 // configured -queues unit, so co-sharded partners usually exist and
@@ -180,18 +197,42 @@ func (c *genCfg) txQueueNames() []string {
 	return names
 }
 
-// pairTxQueues pairs transfer queues that live on the SAME shard, since
-// a mutating transaction touching two queues must stay within one
-// shard's commit pipeline (the server refuses cross-shard mutators with
-// ErrCrossShard). An unpartnered queue pairs with itself — a
+// pairTxQueues pairs the transfer queues, preferring partners on
+// DIFFERENT shards: a mutating two-queue envelope spanning shards
+// exercises the cross-shard ordered-commit path, which is exactly the
+// machinery the txmix conservation ledger should be stressing (before
+// D29 the preference was inverted — the server refused cross-shard
+// mutators). Deterministic: queues are grouped per shard in name
+// order and the two largest groups (lowest shard id on ties) donate
+// each pair, so one seed always drives one pairing. Leftovers pair
+// within their shard; a final odd queue pairs with itself — a
 // self-transfer conserves just the same.
 func pairTxQueues(names []string, shards int) [][2]string {
-	byShard := make(map[int][]string)
+	byShard := make([][]string, shards)
 	for _, n := range names {
 		sh := stmlib.ShardIndex(n, shards)
 		byShard[sh] = append(byShard[sh], n)
 	}
 	var pairs [][2]string
+	for {
+		// The two biggest non-empty groups, lowest shard id first.
+		a, b := -1, -1
+		for sh := range byShard {
+			switch {
+			case len(byShard[sh]) == 0:
+			case a < 0 || len(byShard[sh]) > len(byShard[a]):
+				a, b = sh, a
+			case b < 0 || len(byShard[sh]) > len(byShard[b]):
+				b = sh
+			}
+		}
+		if b < 0 {
+			break // zero or one shard still has queues: no cross pair left
+		}
+		pairs = append(pairs, [2]string{byShard[a][0], byShard[b][0]})
+		byShard[a] = byShard[a][1:]
+		byShard[b] = byShard[b][1:]
+	}
 	for _, group := range byShard {
 		for i := 0; i+1 < len(group); i += 2 {
 			pairs = append(pairs, [2]string{group[i], group[i+1]})
@@ -202,6 +243,21 @@ func pairTxQueues(names []string, shards int) [][2]string {
 		}
 	}
 	return pairs
+}
+
+// acctPartnerOf picks ledger map i's transfer partner: the next map (in
+// index order) living on a DIFFERENT shard, falling back to the next
+// map regardless when every ledger map hashes to one shard (a 1-shard
+// server). Pure and deterministic in (i, shards).
+func acctPartnerOf(i, shards int) int {
+	home := stmlib.ShardIndex(acctMapName(i), shards)
+	for d := 1; d < acctMaps; d++ {
+		j := (i + d) % acctMaps
+		if stmlib.ShardIndex(acctMapName(j), shards) != home {
+			return j
+		}
+	}
+	return (i + 1) % acctMaps
 }
 
 // setup provisions the structures the run reads from.
@@ -227,14 +283,34 @@ func (d *driver) setup() error {
 				return fmt.Errorf("setup cas slots: %w", err)
 			}
 		}
-		// Transfer pairs must not cross shards: ask the server how many
-		// partitions it runs (1 when stats are unavailable — a sharded
-		// server always answers stats).
-		shards := 1
-		if st, err := d.cl.Stats(); err == nil && st.Shards > 0 {
-			shards = int(st.Shards)
+		// Pair queues across shards where possible (same-shard otherwise):
+		// ask the server how many partitions it runs (1 when stats are
+		// unavailable — a sharded server always answers stats).
+		d.txPairs = pairTxQueues(c.txQueueNames(), d.serverShards())
+	}
+	if c.workload == "crossshard" {
+		shards := d.serverShards()
+		d.acctPartners = make([]int, acctMaps)
+		for i := 0; i < acctMaps; i++ {
+			d.acctPartners[i] = acctPartnerOf(i, shards)
+			for j := 0; j < acctPerMap; j++ {
+				if err := d.cl.MapPutInt(acctMapName(i), acctKeyName(j), acctInitial); err != nil {
+					return fmt.Errorf("setup ledger: %w", err)
+				}
+			}
 		}
-		d.txPairs = pairTxQueues(c.txQueueNames(), shards)
+		// Durable provisioning record, like the checkout meta: lets
+		// -recovery-check re-derive the ledger's conservation law after
+		// an out-of-process kill -9 with no memory of this run.
+		for k, v := range map[string]int64{
+			"acct_maps":    int64(acctMaps),
+			"acct_per_map": int64(acctPerMap),
+			"acct_total":   int64(acctMaps) * int64(acctPerMap) * acctInitial,
+		} {
+			if err := d.cl.MapPutInt(metaName, k, v); err != nil {
+				return fmt.Errorf("setup ledger meta: %w", err)
+			}
+		}
 	}
 	if err := d.snapshotBaselines(); err != nil {
 		return err
@@ -252,6 +328,15 @@ func (d *driver) setup() error {
 		}
 	}
 	return nil
+}
+
+// serverShards asks the server how many engine partitions it runs (1
+// when stats are unavailable — a sharded server always answers stats).
+func (d *driver) serverShards() int {
+	if st, err := d.cl.Stats(); err == nil && st.Shards > 0 {
+		return int(st.Shards)
+	}
+	return 1
 }
 
 // snapshotBaselines records the post-setup server state the invariants
@@ -332,12 +417,55 @@ func (d *driver) op(rng *rand.Rand) error {
 		default:
 			return d.opTxAudit(rng)
 		}
+	case "crossshard":
+		if rng.Intn(10) == 0 {
+			return d.opAcctRead(rng)
+		}
+		return d.opAcctTransfer(rng)
 	}
 	return fmt.Errorf("unreachable workload")
 }
 
-// opTxTransfer atomically moves one element between two co-sharded
-// queues (pop A, push B in ONE envelope). A pop that finds the source
+// opAcctTransfer moves a few units between balances in two ledger maps
+// — a guarded three-op envelope that, on a sharded server, spans two
+// shards and commits through the cross-shard ordered-commit path. A
+// guard failure (source too poor) is the expected app-level outcome
+// under drain, tallied as a rejection; either way the ledger total is
+// untouched or conserved, never split.
+func (d *driver) opAcctTransfer(rng *rand.Rand) error {
+	src := rng.Intn(acctMaps)
+	dst := d.acctPartners[src]
+	srcKey := acctKeyName(rng.Intn(acctPerMap))
+	dstKey := acctKeyName(rng.Intn(acctPerMap))
+	amt := int64(1 + rng.Intn(5))
+	_, err := d.cl.Txn().
+		AssertGE(acctMapName(src), srcKey, amt).
+		MapAddInt(acctMapName(src), srcKey, -amt).
+		MapAddInt(acctMapName(dst), dstKey, amt).
+		Commit()
+	var aborted *client.ErrTxAborted
+	if errors.As(err, &aborted) {
+		d.rejected.Add(1)
+		return nil
+	}
+	return err
+}
+
+// opAcctRead is the read side: one balance point-read plus a read-only
+// two-map envelope (which fans on a sharded server).
+func (d *driver) opAcctRead(rng *rand.Rand) error {
+	src := rng.Intn(acctMaps)
+	dst := d.acctPartners[src]
+	_, err := d.cl.Txn().
+		MapGet(acctMapName(src), acctKeyName(rng.Intn(acctPerMap))).
+		MapGet(acctMapName(dst), acctKeyName(rng.Intn(acctPerMap))).
+		Commit()
+	return err
+}
+
+// opTxTransfer atomically moves one element between two queues (pop A,
+// push B in ONE envelope) — usually on different shards, riding the
+// cross-shard ordered commit. A pop that finds the source
 // empty still pushes — the verifier's ledger accounts for both cases,
 // so total elements across the transfer pool obey
 // base + pushed − popped exactly.
@@ -543,6 +671,29 @@ func (d *driver) verify() []string {
 		}
 		if sum != d.casApplied.Load() {
 			fail("cas slots total %d, want %d applied increments", sum, d.casApplied.Load())
+		}
+	}
+	if c.workload == "crossshard" {
+		// The strongest law in the suite: transfers are zero-sum and the
+		// run issues nothing else, so the recovered ledger total equals
+		// the provisioned total EXACTLY — any torn cross-shard commit
+		// (one shard's slice applied without the other) shows up here.
+		var total int64
+		for i := 0; i < acctMaps; i++ {
+			for j := 0; j < acctPerMap; j++ {
+				v, ok, err := d.cl.MapGetInt(acctMapName(i), acctKeyName(j))
+				if err != nil || !ok {
+					fail("ledger %s/%s: ok=%v err=%v", acctMapName(i), acctKeyName(j), ok, err)
+					return out
+				}
+				if v < 0 {
+					fail("ledger %s/%s overdrawn: %d (a guard was bypassed)", acctMapName(i), acctKeyName(j), v)
+				}
+				total += v
+			}
+		}
+		if want := int64(acctMaps) * int64(acctPerMap) * acctInitial; total != want {
+			fail("ledger total %d, want %d: a cross-shard transfer split", total, want)
 		}
 	}
 	if c.runsCheckout() {

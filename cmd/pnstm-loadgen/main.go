@@ -12,10 +12,15 @@
 //	          with conservation invariants checked at the end
 //	mixed     all of the above interleaved
 //	txmix     multi-op wire transactions (client.Txn envelopes): checkout
-//	          orders, atomic queue-to-queue transfers (co-sharded pairs),
-//	          guarded compare-and-swap bumps (aborted guards tallied as
-//	          rejections), and read-only cross-structure audits that fan
-//	          shards — with transfer/CAS/conservation ledgers verified
+//	          orders, atomic queue-to-queue transfers (cross-shard pairs
+//	          preferred), guarded compare-and-swap bumps (aborted guards
+//	          tallied as rejections), and read-only cross-structure
+//	          audits that fan shards — with transfer/CAS/conservation
+//	          ledgers verified
+//	crossshard  guarded balance transfers between account maps on
+//	          different shards — every mutating envelope rides the
+//	          cross-shard ordered-commit path — with the zero-sum
+//	          ledger total verified exactly at the end
 //
 // Usage:
 //
@@ -59,7 +64,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:7455", "pnstmd address")
-		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout, mixed or txmix")
+		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout, mixed, txmix or crossshard")
 		concurrency = flag.Int("concurrency", 16, "issuing goroutines")
 		conns       = flag.Int("conns", 4, "pooled client connections")
 		duration    = flag.Duration("duration", 5*time.Second, "measurement window")

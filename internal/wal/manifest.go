@@ -20,10 +20,24 @@ import (
 // scanning ignores it.
 const ManifestName = "MANIFEST.json"
 
+// ManifestVersion is the current manifest format version. History:
+//
+//	1 — sharded layout: per-shard logs under shard-<i>/, shard count
+//	    recorded.
+//	2 — cross-shard ordered commit: shard logs may carry GSN-stamped
+//	    cross-shard records and snapshots a trailing GSN watermark. A
+//	    version-1 reader would reject such a record as corrupt, so a
+//	    directory that may hold them declares version 2; openers must
+//	    refuse versions above the one they implement.
+//
+// Version-1 directories are upgraded in place on open (the v2 reader
+// understands everything v1 wrote).
+const ManifestVersion = 2
+
 // Manifest records the store-level parameters a data directory was
 // created with.
 type Manifest struct {
-	// Version is the manifest format version (currently 1).
+	// Version is the manifest format version (see ManifestVersion).
 	Version int `json:"version"`
 
 	// Shards is the number of engine partitions the directory was

@@ -683,6 +683,26 @@ func judgeCounterGuard(op *TxOp, total int64) (msg string, ok bool) {
 	return "", true
 }
 
+// reservePipeline fills every in-flight slot of the batcher, so no new
+// group commit can launch until the returned release runs: the caller
+// owns the position between two group commits in this engine's commit
+// order — a commit ticket for work that is not a batch (checkpoints'
+// bulk reads, cross-shard envelope slices). With a WAL the capacity is
+// 1 (D20), so one slot is the whole pipeline. Filling several slots is
+// not atomic; concurrent reservers must serialize externally
+// (shard.pauseMu).
+func (b *batcher) reservePipeline() func() {
+	n := cap(b.inflight)
+	for i := 0; i < n; i++ {
+		b.inflight <- struct{}{}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			<-b.inflight
+		}
+	}
+}
+
 // batchStats is the batcher's contribution to ServerStats.
 func (b *batcher) stats() (batches, requests uint64, mean float64, largest int) {
 	b.mu.Lock()

@@ -79,6 +79,131 @@ func FuzzRequestRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzGSNRecordRoundTrip holds the cross-shard WAL record codec (D30)
+// to the same standard as the wire codecs: decode-or-reject with no
+// panic, and anything accepted must survive re-encode → re-decode
+// unchanged — a record that mutates across a log rewrite would make
+// replay diverge between shards.
+func FuzzGSNRecordRoundTrip(f *testing.F) {
+	seedReqs := []*Request{
+		{Op: OpTx, Tx: &Tx{Ops: []TxOp{
+			{Op: OpMapAdd, Name: "a", Key: "bal", Delta: -5},
+			{Op: OpMapAdd, Name: "b", Key: "bal", Delta: 5},
+		}}},
+		{Op: OpTx, Tx: &Tx{Ops: []TxOp{
+			{Op: OpMapPut, Name: "m", Key: "k", Value: []byte("v")},
+			{Op: OpQueuePush, Name: "q", Value: []byte{0, 1}},
+		}}},
+	}
+	for i, req := range seedReqs {
+		body, err := encodeGSNRecord(uint64(i+1), []int{0, i + 1}, req)
+		if err != nil {
+			panic(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte("XGSN"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 24))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		gsn, logSet, req, err := decodeGSNRecord(body)
+		if err != nil {
+			return // rejected input: only property is "no panic"
+		}
+		if gsn == 0 || len(logSet) == 0 {
+			t.Fatalf("decoder accepted gsn=%d logSet=%v", gsn, logSet)
+		}
+		again, err := encodeGSNRecord(gsn, logSet, req)
+		if err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+		gsn2, logSet2, req2, err := decodeGSNRecord(again)
+		if err != nil {
+			t.Fatalf("re-encoded record does not re-decode: %v", err)
+		}
+		if gsn2 != gsn || !reflect.DeepEqual(logSet2, logSet) || !reflect.DeepEqual(req2, req) {
+			t.Fatalf("GSN record round trip diverged:\n  first  %d %v %+v\n  second %d %v %+v",
+				gsn, logSet, req, gsn2, logSet2, req2)
+		}
+	})
+}
+
+// FuzzClassifyTx feeds arbitrary decoded envelopes through the routing
+// classifier for every small shard count. classifyTx gates which commit
+// path runs; a panic or a malformed plan here would take down the
+// connection handler, so the property is total: any envelope the wire
+// codec accepts must classify, and a cross plan must name ≥2 sorted
+// participants whose slices cover the envelope in order.
+func FuzzClassifyTx(f *testing.F) {
+	for _, seed := range fuzzSeedRequests() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := ParseRequest(payload)
+		if err != nil || req.Op != OpTx {
+			return
+		}
+		for n := 1; n <= 5; n++ {
+			plan := classifyTx(req.Tx, n)
+			switch plan.kind {
+			case planSingle:
+				if plan.target < 0 || plan.target >= n {
+					t.Fatalf("n=%d: single plan targets shard %d", n, plan.target)
+				}
+			case planFan:
+				// Read-only fan: no slices to check.
+			case planCross:
+				if n < 2 || len(plan.participants) < 2 {
+					t.Fatalf("n=%d: cross plan with participants %v", n, plan.participants)
+				}
+				covered, partials := 0, 0
+				for i, sh := range plan.participants {
+					if i > 0 && sh <= plan.participants[i-1] {
+						t.Fatalf("n=%d: participants not ascending: %v", n, plan.participants)
+					}
+					if sh < 0 || sh >= n {
+						t.Fatalf("n=%d: participant %d out of range", n, sh)
+					}
+					slice := plan.slices[sh]
+					if len(slice) == 0 {
+						t.Fatalf("n=%d: participant %d has an empty slice", n, sh)
+					}
+					for j, item := range slice {
+						if j > 0 && item.idx <= slice[j-1].idx {
+							t.Fatalf("n=%d shard %d: slice not in envelope order: %+v", n, sh, slice)
+						}
+						if item.idx < 0 || item.idx >= len(req.Tx.Ops) {
+							t.Fatalf("n=%d shard %d: slice index %d out of range", n, sh, item.idx)
+						}
+						if item.partial {
+							partials++
+						} else {
+							covered++
+						}
+					}
+				}
+				// Every op executes on exactly one shard, except global
+				// counter reads (no single home), which instead place one
+				// partial item on EVERY shard.
+				executed, globals := 0, 0
+				for i := range req.Tx.Ops {
+					if _, ok := crossShardHome(&req.Tx.Ops[i], n); ok {
+						executed++
+					} else {
+						globals++
+					}
+				}
+				if covered != executed || partials != globals*n {
+					t.Fatalf("n=%d: slices hold %d exec + %d partial items, envelope needs %d + %d",
+						n, covered, partials, executed, globals*n)
+				}
+			default:
+				t.Fatalf("n=%d: unknown plan kind %d", n, plan.kind)
+			}
+		}
+	})
+}
+
 func FuzzResponseRoundTrip(f *testing.F) {
 	resps := []*Response{
 		{ID: 1, Status: StatusOK},

@@ -268,8 +268,12 @@ func appendU32(buf []byte, v uint32) []byte {
 
 // encodeImage renders a registry export as the snapshot payload
 // (deterministically: names and keys sorted), reusing the protocol's
-// length-prefixed primitives.
-func encodeImage(img *stmlib.RegistryImage) []byte {
+// length-prefixed primitives. maxGSN — the highest cross-shard GSN the
+// covered log prefix contained (0: none) — trails the payload as the
+// snapshot's watermark: recovery uses it to tell "this shard's copy of
+// a GSN record was truncated by a checkpoint" from "this shard never
+// logged it" (see reconcileGSNs).
+func encodeImage(img *stmlib.RegistryImage, maxGSN uint64) []byte {
 	var buf []byte
 	mapNames := sortedKeys(img.Maps)
 	buf = appendU32(buf, uint32(len(mapNames)))
@@ -299,11 +303,15 @@ func encodeImage(img *stmlib.RegistryImage) []byte {
 		buf = appendU16Str(buf, name)
 		buf = appendI64(buf, img.Counters[name])
 	}
+	buf = binary.BigEndian.AppendUint64(buf, maxGSN)
 	return buf
 }
 
-// decodeImage parses a snapshot payload.
-func decodeImage(data []byte) (*stmlib.RegistryImage, error) {
+// decodeImage parses a snapshot payload, returning the image and its
+// cross-shard GSN watermark. Pre-D31 snapshots end right after the
+// counters block — they decode with watermark 0, which is exact (no
+// GSN record existed when they were written).
+func decodeImage(data []byte) (*stmlib.RegistryImage, uint64, error) {
 	c := &cursor{b: data}
 	img := &stmlib.RegistryImage{
 		Maps:     make(map[string]map[string][]byte),
@@ -331,10 +339,14 @@ func decodeImage(data []byte) (*stmlib.RegistryImage, error) {
 		name := c.str16()
 		img.Counters[name] = c.i64()
 	}
-	if err := c.done(); err != nil {
-		return nil, fmt.Errorf("server: snapshot: %w", err)
+	var maxGSN uint64
+	if c.err == nil && len(c.b)-c.off == 8 {
+		maxGSN = c.u64() // trailing watermark; absent in pre-D31 payloads
 	}
-	return img, nil
+	if err := c.done(); err != nil {
+		return nil, 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	return img, maxGSN, nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -347,32 +359,216 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-shard (GSN) records
+// ---------------------------------------------------------------------------
+
+// gsnMagic opens every cross-shard WAL record (D30). Read as the
+// big-endian u32 length a batch record would start with, it is ≈1.48e9
+// — far beyond MaxFrame — so a pre-D31 reader rejects the record as an
+// overrun rather than misparsing it, and no legal batch record can
+// begin with these bytes.
+var gsnMagic = []byte("XGSN")
+
+// isGSNRecord reports whether a WAL record body is a cross-shard
+// (GSN-stamped) record rather than a plain batch record.
+func isGSNRecord(body []byte) bool {
+	return len(body) >= len(gsnMagic) && string(body[:len(gsnMagic)]) == string(gsnMagic)
+}
+
+// encodeGSNRecord renders one shard's copy of a committed cross-shard
+// envelope:
+//
+//	"XGSN" | u64 gsn | u16 count | count × u16 shard id | request frame
+//
+// The shard-id list is the envelope's LOGGING set — every shard whose
+// slice wrote, identical in all copies, which is what lets recovery
+// check completeness — and the request frame (the wire framing,
+// 4-byte length included) holds THIS shard's write-only sub-envelope.
+func encodeGSNRecord(gsn uint64, logSet []int, req *Request) ([]byte, error) {
+	buf := append([]byte(nil), gsnMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, gsn)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(logSet)))
+	for _, id := range logSet {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(id))
+	}
+	return AppendRequest(buf, req)
+}
+
+// decodeGSNRecord parses a cross-shard record body. Any malformed
+// input — bad magic, truncated fields, trailing bytes, a frame that is
+// not a valid OpTx request, a zero GSN, an empty logging set — is
+// rejected with an error, never a panic (fuzzed).
+func decodeGSNRecord(body []byte) (gsn uint64, logSet []int, req *Request, err error) {
+	if !isGSNRecord(body) {
+		return 0, nil, nil, fmt.Errorf("server: not a cross-shard record")
+	}
+	c := &cursor{b: body, off: len(gsnMagic)}
+	gsn = c.u64()
+	count := int(c.u16())
+	logSet = make([]int, 0, count)
+	for i := 0; i < count && c.err == nil; i++ {
+		logSet = append(logSet, int(c.u16()))
+	}
+	frame := c.take(int(c.u32()))
+	if cerr := c.done(); cerr != nil {
+		return 0, nil, nil, fmt.Errorf("server: cross-shard record: %w", cerr)
+	}
+	req, perr := ParseRequest(frame)
+	if perr != nil {
+		return 0, nil, nil, fmt.Errorf("server: cross-shard record: %w", perr)
+	}
+	if req.Op != OpTx {
+		return 0, nil, nil, fmt.Errorf("server: cross-shard record carries opcode %d, want OpTx", req.Op)
+	}
+	if gsn == 0 {
+		return 0, nil, nil, fmt.Errorf("server: cross-shard record with zero gsn")
+	}
+	if len(logSet) == 0 {
+		return 0, nil, nil, fmt.Errorf("server: cross-shard record with empty logging set")
+	}
+	return gsn, logSet, req, nil
+}
+
+// ---------------------------------------------------------------------------
 // Recovery and checkpointing
 // ---------------------------------------------------------------------------
 
-// recoverStore rebuilds one shard from its data directory: import the
-// newest snapshot, then replay the WAL tail batch by batch. Open has
-// already truncated any torn or CRC-corrupt tail, so replay sees only
-// durable, intact records. On a sharded server every shard recovers
-// concurrently — the logs are independent histories over disjoint
-// structure sets, so their replay order relative to each other is
-// immaterial.
-func (sh *shard) recoverStore(fanout int) error {
+// gsnAt is one GSN record's position in a shard's log.
+type gsnAt struct {
+	lsn    uint64
+	gsn    uint64
+	logSet []int
+}
+
+// shardScan is phase A's per-shard recovery inventory: the decoded
+// snapshot (nil: none) with its GSN watermark, every GSN record's
+// metadata in log order, and the log's tail LSN. Nothing is applied in
+// this phase — wal.Replay re-reads the segments from disk, so the
+// apply pass (replayStore) can run it again.
+type shardScan struct {
+	img       *stmlib.RegistryImage
+	watermark uint64
+	gsns      []gsnAt
+	tailLSN   uint64
+}
+
+// scanStore is recovery phase A for one shard: open the snapshot and
+// inventory the log's GSN records without applying anything.
+func (sh *shard) scanStore(shards int) (*shardScan, error) {
+	scan := &shardScan{}
 	if data, lsn, ok := sh.wal.Snapshot(); ok {
-		img, err := decodeImage(data)
+		img, mark, err := decodeImage(data)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := sh.rt.Run(func(c *pnstm.Ctx) { sh.reg.Import(c, img) }); err != nil {
-			return fmt.Errorf("server: restore snapshot: %w", err)
-		}
+		scan.img, scan.watermark = img, mark
 	} else if lsn > 0 {
 		// The log says a snapshot covers lsn 1..N but its payload will
 		// not load: replaying only the tail would be the missing-prefix
 		// corruption. Refuse to serve divergent state.
-		return fmt.Errorf("server: snapshot covering lsn %d exists but failed to load; refusing to recover without it", lsn)
+		return nil, fmt.Errorf("server: snapshot covering lsn %d exists but failed to load; refusing to recover without it", lsn)
 	}
+	scan.tailLSN = sh.wal.TailLSN()
+	err := sh.wal.Replay(func(lsn uint64, body []byte) error {
+		if !isGSNRecord(body) {
+			return nil
+		}
+		gsn, logSet, _, err := decodeGSNRecord(body)
+		if err != nil {
+			return fmt.Errorf("server: wal lsn %d: %w", lsn, err)
+		}
+		for _, member := range logSet {
+			if member < 0 || member >= shards {
+				return fmt.Errorf("server: wal lsn %d: gsn %d names shard %d of a %d-shard store", lsn, gsn, member, shards)
+			}
+		}
+		scan.gsns = append(scan.gsns, gsnAt{lsn: lsn, gsn: gsn, logSet: logSet})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scan, nil
+}
+
+// reconcileGSNs is recovery phase B, the global step: decide which
+// cross-shard envelopes the directory holds COMPLETELY. A GSN g with
+// logging set L is complete iff every member of L either holds g's
+// record in its log or has a snapshot watermark ≥ g (its copy was
+// applied and then truncated by a checkpoint — appendGSNRecords latches
+// all logs on partial failure precisely so a checkpoint can never
+// cover a GSN its peers missed). An incomplete GSN — the crash landed
+// between the participants' fsyncs — is dropped on EVERY shard, which
+// is sound only because nothing after it in any log can depend on it:
+// the coordinator held every participant's commit slots until all
+// appends returned, so a lost append means the record is the very last
+// thing its log ever received. Any shard holding a dropped GSN
+// anywhere but its tail is divergence, and the boot fails.
+func reconcileGSNs(scans []*shardScan) (dropped map[uint64]bool, maxGSN uint64, err error) {
+	present := make([]map[uint64]bool, len(scans))
+	for i, sc := range scans {
+		if sc.watermark > maxGSN {
+			maxGSN = sc.watermark
+		}
+		present[i] = make(map[uint64]bool, len(sc.gsns))
+		for _, g := range sc.gsns {
+			if g.gsn > maxGSN {
+				maxGSN = g.gsn
+			}
+			present[i][g.gsn] = true
+		}
+	}
+	dropped = make(map[uint64]bool)
+	for _, sc := range scans {
+		for _, g := range sc.gsns {
+			for _, member := range g.logSet {
+				if present[member][g.gsn] || g.gsn <= scans[member].watermark {
+					continue
+				}
+				dropped[g.gsn] = true
+			}
+		}
+	}
+	for i, sc := range scans {
+		for _, g := range sc.gsns {
+			if dropped[g.gsn] && g.lsn != sc.tailLSN {
+				return nil, 0, fmt.Errorf("server: shard %d: incomplete cross-shard gsn %d at lsn %d is not the log tail %d; the log holds state built on a commit another shard never made durable", i, g.gsn, g.lsn, sc.tailLSN)
+			}
+		}
+	}
+	return dropped, maxGSN, nil
+}
+
+// replayStore is recovery phase C for one shard: import the snapshot,
+// then replay the WAL tail record by record. Open has already
+// truncated any torn or CRC-corrupt tail, so replay sees only durable,
+// intact records; plain batch records replay exactly as before (D21),
+// GSN records replay their write-only sub-envelope at their logged
+// position — every shard's log orders its GSNs identically (strictly
+// increasing), so cross-shard slices land at the same relative
+// positions everywhere — and GSNs phase B dropped are skipped.
+func (sh *shard) replayStore(scan *shardScan, dropped map[uint64]bool, fanout int) error {
+	if scan.img != nil {
+		if err := sh.rt.Run(func(c *pnstm.Ctx) { sh.reg.Import(c, scan.img) }); err != nil {
+			return fmt.Errorf("server: restore snapshot: %w", err)
+		}
+	}
+	sh.maxGSN.Store(scan.watermark)
 	return sh.wal.Replay(func(lsn uint64, body []byte) error {
+		if isGSNRecord(body) {
+			gsn, _, req, err := decodeGSNRecord(body)
+			if err != nil {
+				return fmt.Errorf("server: wal lsn %d: %w", lsn, err)
+			}
+			if dropped[gsn] {
+				return nil // incomplete cross-shard commit: skipped everywhere
+			}
+			if err := replayBatch(sh.rt, sh.reg, fanout, []*Request{req}); err != nil {
+				return fmt.Errorf("server: replay lsn %d (gsn %d): %w", lsn, gsn, err)
+			}
+			sh.maxGSN.Store(gsn)
+			return nil
+		}
 		reqs, err := decodeBatch(body)
 		if err != nil {
 			return fmt.Errorf("server: wal lsn %d: %w", lsn, err)
@@ -384,22 +580,18 @@ func (sh *shard) recoverStore(fanout int) error {
 	})
 }
 
-// pauseCommits fills the shard's in-flight slots so no new group commit
-// can launch, and returns the release function. With a WAL the capacity
-// is 1 (D20), so one slot is the whole pipeline; in-memory pipelined
-// servers have more — and because filling several slots is not atomic,
-// pauseMu admits one pauser at a time (two interleaved pausers would
-// each hold half the slots and block forever on the rest).
+// pauseCommits reserves the shard's whole commit pipeline (see
+// batcher.reservePipeline) and returns the release function. Because
+// filling several slots is not atomic, pauseMu admits one reserver at
+// a time (two interleaved reservers would each hold half the slots and
+// block forever on the rest). Checkpoint, Export and cross-shard
+// coordinators all take their position in the shard's commit order
+// through here.
 func (sh *shard) pauseCommits() func() {
 	sh.pauseMu.Lock()
-	n := cap(sh.b.inflight)
-	for i := 0; i < n; i++ {
-		sh.b.inflight <- struct{}{}
-	}
+	release := sh.b.reservePipeline()
 	return func() {
-		for i := 0; i < n; i++ {
-			<-sh.b.inflight
-		}
+		release()
 		sh.pauseMu.Unlock()
 	}
 }
@@ -424,13 +616,14 @@ func (sh *shard) checkpoint() error {
 	}
 	release := sh.pauseCommits()
 	lsn := sh.wal.TailLSN()
+	gsn := sh.maxGSN.Load() // stable under the pause, like the tail LSN
 	var img *stmlib.RegistryImage
 	err := sh.rt.Run(func(c *pnstm.Ctx) { img = sh.reg.Export(c) })
 	release()
 	if err != nil {
 		return fmt.Errorf("server: checkpoint export: %w", err)
 	}
-	return sh.wal.WriteSnapshot(encodeImage(img), lsn)
+	return sh.wal.WriteSnapshot(encodeImage(img, gsn), lsn)
 }
 
 // Checkpoint snapshots every shard, concurrently: each shard pauses its

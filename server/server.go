@@ -195,10 +195,17 @@ type shard struct {
 	b   *batcher
 	wal *wal.Log // nil without DataDir
 
-	// pauseMu serializes pauseCommits callers (Checkpoint vs Export):
-	// two pausers interleaving their slot acquisitions on a
-	// MaxInflight > 1 shard would deadlock half-filled.
+	// pauseMu serializes pauseCommits callers (Checkpoint vs Export vs
+	// cross-shard coordinators): two pausers interleaving their slot
+	// acquisitions on a MaxInflight > 1 shard would deadlock
+	// half-filled.
 	pauseMu sync.Mutex
+
+	// maxGSN is the highest cross-shard GSN this shard's log holds a
+	// record for (D30) — snapshots capture it as their watermark so
+	// recovery can tell "this GSN's record was truncated by a
+	// checkpoint" from "this shard never logged it".
+	maxGSN atomic.Uint64
 }
 
 // Server owns the listener, the shard engines and the connection
@@ -210,6 +217,19 @@ type Server struct {
 
 	ckStop chan struct{} // non-nil when the checkpointer runs
 	ckDone chan struct{}
+
+	// gsn is the global sequencer for cross-shard envelopes (D29):
+	// each mutating multi-shard OpTx draws one monotone global sequence
+	// number while holding every participant shard's commit slots.
+	// Recovery seeds it past every GSN the logs and snapshots mention.
+	gsn atomic.Uint64
+
+	// crossMu/crossStopped/crossWG fence cross-shard coordinators
+	// against shutdown, mirroring the batcher's submit/close handshake
+	// (see beginCross/stopCross).
+	crossMu      sync.RWMutex
+	crossStopped bool
+	crossWG      sync.WaitGroup
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -277,9 +297,14 @@ func shardDataDir(base string, id, n int) string {
 }
 
 // openDurability validates the data directory's shard manifest, then
-// opens and recovers every shard's WAL concurrently (D25): the logs are
-// independent histories over disjoint structure sets, so their replay
-// needs no cross-shard ordering.
+// opens and recovers every shard's WAL. Per-shard work — opening the
+// log, loading the snapshot, scanning and replaying — still runs on
+// all shards concurrently (D25), but since cross-shard ordered commit
+// (D31) a shard's log may reference GSNs other shards' logs must also
+// hold, so recovery is phased: scan every log's GSN metadata first,
+// reconcile completeness globally (an envelope whose record survives
+// on only some shards — the fsync raced the crash — is dropped on ALL
+// of them), then replay, skipping the dropped records.
 func (s *Server) openDurability() error {
 	dir := s.cfg.DataDir
 	m, ok, err := wal.ReadManifest(dir)
@@ -293,6 +318,17 @@ func (s *Server) openDurability() error {
 		// would scatter structures across logs that never heard of them.
 		return fmt.Errorf("server: data dir %s was created with %d shards; restart with Shards=%d (live resharding is not supported)",
 			dir, m.Shards, m.Shards)
+	case ok && m.Version > wal.ManifestVersion:
+		return fmt.Errorf("server: data dir %s manifest version %d is newer than this binary supports (max %d); upgrade the server",
+			dir, m.Version, wal.ManifestVersion)
+	case ok && m.Version < wal.ManifestVersion:
+		// Upgrade in place: this server may write GSN-stamped
+		// cross-shard records a version-1 reader would reject as
+		// corrupt, so declare the format before the first such record
+		// can exist.
+		if err := wal.WriteManifest(dir, wal.Manifest{Version: wal.ManifestVersion, Shards: m.Shards}); err != nil {
+			return err
+		}
 	case !ok:
 		// No manifest: the directory is either fresh or written by a
 		// pre-manifest (single-shard) version. A sharded layout whose
@@ -311,10 +347,14 @@ func (s *Server) openDurability() error {
 				return fmt.Errorf("server: data dir %s holds a single-shard store with no manifest; restart with Shards=1", dir)
 			}
 		}
-		if err := wal.WriteManifest(dir, wal.Manifest{Version: 1, Shards: len(s.shards)}); err != nil {
+		if err := wal.WriteManifest(dir, wal.Manifest{Version: wal.ManifestVersion, Shards: len(s.shards)}); err != nil {
 			return err
 		}
 	}
+
+	// Phase A (per shard, concurrent): open the log, load the snapshot,
+	// inventory the GSN records without applying anything.
+	scans := make([]*shardScan, len(s.shards))
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
@@ -332,7 +372,34 @@ func (s *Server) openDurability() error {
 				return
 			}
 			sh.wal = wl
-			if err := sh.recoverStore(s.cfg.BatchFanout); err != nil {
+			scan, err := sh.scanStore(len(s.shards))
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", sh.id, err)
+				return
+			}
+			scans[i] = scan
+		}(i, sh)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+
+	// Phase B (global): reconcile cross-shard completeness and seed the
+	// sequencer past everything the directory has ever numbered.
+	dropped, maxGSN, err := reconcileGSNs(scans)
+	if err != nil {
+		return err
+	}
+	s.gsn.Store(maxGSN)
+
+	// Phase C (per shard, concurrent): import the snapshot and replay
+	// the log, skipping dropped GSN records.
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			if err := sh.replayStore(scans[i], dropped, s.cfg.BatchFanout); err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", sh.id, err)
 			}
 		}(i, sh)
@@ -479,6 +546,11 @@ func (s *Server) Close() {
 		}(sh)
 	}
 	flush.Wait()
+	// Cross-shard coordinators append to several logs outside any
+	// batcher: refuse new ones and drain the in-flight ones before the
+	// final WAL sync/close (a coordinator may have been queued on commit
+	// slots a draining batch held until just now).
+	s.stopCross()
 	for _, sh := range s.shards {
 		if sh.wal == nil {
 			continue
@@ -530,6 +602,10 @@ func (s *Server) Kill() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// In-flight cross-shard coordinators fail their appends against the
+	// abandoned logs; wait them out before tearing down the runtimes
+	// their slices run on.
+	s.stopCross()
 	for _, sh := range s.shards {
 		sh.b.close()
 		sh.rt.Close()
@@ -616,49 +692,6 @@ func txPinnedShard(op *TxOp, n int) (int, bool) {
 		}
 	}
 	return 0, false
-}
-
-// routeTx resolves an OpTx envelope's shard (D27). Every map/queue
-// sub-op pins its structure's home shard; the envelope executes on the
-// single pinned shard (or the first counter's home shard when nothing
-// pins — a counter-only envelope — so identical envelopes always meet
-// on the same shard). A MUTATING envelope pinned to several shards is
-// refused with StatusCrossShard: atomicity holds within one shard's
-// group-commit pipeline only. A read-only envelope may instead fan its
-// sub-ops across the pinned shards (see fanTx), reported here via
-// fan=true.
-func (s *Server) routeTx(req *Request) (target int, fan bool, resp *Response) {
-	n := len(s.shards)
-	if n == 1 {
-		return 0, false, nil
-	}
-	pinned := make(map[int]bool)
-	writes := false
-	first := -1
-	for i := range req.Tx.Ops {
-		op := &req.Tx.Ops[i]
-		if writeSubOp(op.Op) {
-			writes = true
-		}
-		if sh, ok := txPinnedShard(op, n); ok {
-			pinned[sh] = true
-			if first < 0 {
-				first = sh
-			}
-		}
-	}
-	switch {
-	case len(pinned) == 1:
-		return first, false, nil
-	case len(pinned) == 0:
-		// Counter-only envelope: route by the first counter's name.
-		return stmlib.ShardIndex(req.Tx.Ops[0].Name, n), false, nil
-	case writes:
-		return 0, false, &Response{ID: req.ID, Status: StatusCrossShard,
-			Msg: fmt.Sprintf("mutating transaction pins %d shards; split it or co-locate its structures", len(pinned))}
-	default:
-		return 0, true, nil
-	}
 }
 
 // fanTx answers a read-only multi-shard OpTx envelope: each pinned
@@ -938,18 +971,17 @@ func (s *Server) handleConn(nc net.Conn) {
 				deliver(Response{ID: req.ID, Status: StatusOK})
 				continue
 			}
-			target, fan, errResp := s.routeTx(req)
-			if errResp != nil {
-				deliver(*errResp)
-				continue
-			}
-			if fan {
+			plan := s.routeTx(req)
+			switch plan.kind {
+			case planFan:
 				s.fanTx(req, deliver)
-				continue
-			}
-			p := &pending{req: req, deliver: deliver}
-			if !s.shards[target].b.submit(p) {
-				deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
+			case planCross:
+				s.commitCrossShard(req, &plan, deliver)
+			default:
+				p := &pending{req: req, deliver: deliver}
+				if !s.shards[plan.target].b.submit(p) {
+					deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
+				}
 			}
 		default:
 			p := &pending{req: req, deliver: deliver}

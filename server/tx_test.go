@@ -174,27 +174,46 @@ func namesOnDistinctShards(t *testing.T, prefix string, n int) (a, b, sameAsA st
 	return
 }
 
-// TestTxCrossShardRules: a mutating envelope spanning shards is refused
-// with the typed ErrCrossShard; the same envelope confined to one shard
-// commits; a read-only envelope spanning shards fans and answers.
+// TestTxCrossShardRules: a mutating envelope spanning shards commits
+// atomically through the ordered-commit path (D29) — no StatusCrossShard
+// — and its guards judge global state; the same envelope confined to
+// one shard rides that shard's pipeline; a read-only envelope spanning
+// shards fans and answers.
 func TestTxCrossShardRules(t *testing.T) {
 	const shards = 4
 	s := startServer(t, server.Config{Workers: 2, MaxBatch: 8, Shards: shards})
 	cl := dial(t, s, 1)
 	mapA, mapB, mapA2 := namesOnDistinctShards(t, "xm", shards)
 
-	// Mutating + two pinned shards → typed refusal, nothing executed.
-	_, err := cl.Txn().
-		MapPut(mapA, "k", []byte("v")).
-		MapPut(mapB, "k", []byte("v")).
-		Commit()
-	if !errors.Is(err, client.ErrCrossShard) {
-		t.Fatalf("want ErrCrossShard, got %v", err)
+	// Mutating + two pinned shards → ordered cross-shard commit: both
+	// writes land, atomically.
+	if _, err := cl.Txn().
+		MapPut(mapA, "ck", []byte("va")).
+		MapPut(mapB, "ck", []byte("vb")).
+		Commit(); err != nil {
+		t.Fatalf("cross-shard mutating tx: %v", err)
 	}
-	for _, m := range []string{mapA, mapB} {
-		if _, ok, _ := cl.MapGet(m, "k"); ok {
-			t.Errorf("refused cross-shard tx wrote to %s", m)
+	for m, want := range map[string]string{mapA: "va", mapB: "vb"} {
+		if v, ok, err := cl.MapGet(m, "ck"); err != nil || !ok || string(v) != want {
+			t.Errorf("after cross-shard tx, %s[ck] = %q,%v,%v want %q", m, v, ok, err, want)
 		}
+	}
+
+	// A failing guard on one shard aborts the WHOLE envelope: the write
+	// on the other shard rolls back too.
+	_, err := cl.Txn().
+		MapPut(mapA, "rk", []byte("x")).
+		AssertGE(mapB, "absent", 1). // absent reads as 0 → fails
+		Commit()
+	var aborted *client.ErrTxAborted
+	if !errors.As(err, &aborted) {
+		t.Fatalf("want ErrTxAborted, got %v", err)
+	}
+	if aborted.FailedOpIndex != 1 {
+		t.Errorf("FailedOpIndex = %d want 1", aborted.FailedOpIndex)
+	}
+	if _, ok, _ := cl.MapGet(mapA, "rk"); ok {
+		t.Errorf("aborted cross-shard tx left a write on %s", mapA)
 	}
 
 	// Same shard: commits, counters ride along (D24 partials).
