@@ -526,6 +526,121 @@ func (l *Log) rewindLocked(size int64, cause error) {
 	}
 }
 
+// TruncateTail physically removes the log's final record — lsn must be
+// the current tail and must not be covered by the snapshot. Recovery
+// uses it to discard a record it has decided not to replay (an
+// incomplete cross-shard commit whose peers never made it durable), the
+// same way Open discards a torn tail: once the bytes are gone, later
+// boots have nothing left to re-judge and the next Append reuses the
+// LSN. The truncation is fsynced before returning; a failure latches
+// the log shut (the store's view and the disk can no longer be
+// reconciled).
+func (l *Log) TruncateTail(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: closed")
+	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: failed: %w", l.failed)
+	}
+	if lsn != l.tail {
+		return fmt.Errorf("wal: TruncateTail(%d): tail is %d", lsn, l.tail)
+	}
+	if lsn <= l.snap {
+		return fmt.Errorf("wal: TruncateTail(%d): snapshot already covers it", lsn)
+	}
+	// The tail record lives in the last segment whose start is ≤ lsn.
+	// Anything after that segment is an empty shell a crash left behind
+	// (rotated, never written); the shells hold no records, so removing
+	// them loses nothing and keeps the chain dense.
+	si := len(l.segs) - 1
+	for si > 0 && l.segs[si].start > lsn {
+		si--
+	}
+	if l.segs[si].start > lsn {
+		err := fmt.Errorf("wal: TruncateTail(%d): no segment holds it", lsn)
+		l.failed = err
+		return err
+	}
+	if si < len(l.segs)-1 {
+		if l.f != nil {
+			l.f.Close()
+			l.f = nil
+		}
+		for _, s := range l.segs[si+1:] {
+			if err := os.Remove(s.path); err != nil {
+				l.failed = err
+				return fmt.Errorf("wal: truncate tail: %w", err)
+			}
+		}
+		l.segs = l.segs[:si+1]
+		f, err := os.OpenFile(l.segs[si].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			l.failed = err
+			return fmt.Errorf("wal: truncate tail: %w", err)
+		}
+		l.f = f
+	}
+	off, err := recordOffset(l.segs[si].path, lsn)
+	if err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: truncate tail: %w", err)
+	}
+	if err := l.f.Truncate(off); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: truncate tail: %w", err)
+	}
+	// A handle rotateLocked created has no O_APPEND: its write offset
+	// still points past the cut, and writing there would leave a
+	// zero-filled hole that swallows every later record at recovery.
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: truncate tail: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: truncate tail: %w", err)
+	}
+	syncDir(l.opts.Dir)
+	l.size = off
+	l.tail = lsn - 1
+	if l.replayN > 0 {
+		l.replayN--
+	}
+	l.stats.TailLSN = l.tail
+	l.stats.Segments = len(l.segs)
+	return nil
+}
+
+// recordOffset walks a segment to the byte offset at which the record
+// carrying lsn begins.
+func recordOffset(path string, lsn uint64) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [segHdrLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("short header: %w", err)
+	}
+	if string(hdr[:8]) != segMagic {
+		return 0, fmt.Errorf("bad segment magic")
+	}
+	br := &countReader{r: f, n: segHdrLen}
+	for {
+		at := br.n
+		payload, ok := readRecord(br, maxRecord)
+		if !ok {
+			return 0, fmt.Errorf("no record carries lsn %d", lsn)
+		}
+		if binary.BigEndian.Uint64(payload[:8]) == lsn {
+			return at, nil
+		}
+	}
+}
+
 // Fail latches the log shut with cause: every future Append and
 // WriteSnapshot errors. For callers that detect, before reaching
 // Append, that the store's memory state can no longer be captured in

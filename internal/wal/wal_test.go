@@ -457,3 +457,78 @@ func onlySegment(t *testing.T, dir string) string {
 	}
 	return segs[0]
 }
+
+func TestTruncateTail(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, Fsync: true})
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Guard rails: only the current tail, and only past the snapshot.
+	if err := l.TruncateTail(2); err == nil {
+		t.Fatal("TruncateTail accepted a non-tail lsn")
+	}
+	if err := l.TruncateTail(3); err != nil {
+		t.Fatal(err)
+	}
+	if l.TailLSN() != 2 {
+		t.Fatalf("tail = %d, want 2", l.TailLSN())
+	}
+	lsns, _ := collect(t, l)
+	if len(lsns) != 2 {
+		t.Fatalf("replay yields %d records, want 2", len(lsns))
+	}
+	// The freed LSN is reused by the next append.
+	if lsn, err := l.Append(body(30)); err != nil || lsn != 3 {
+		t.Fatalf("append after truncate: lsn=%d err=%v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The truncation is durable: a reopen sees a clean 3-record chain
+	// with the replacement body, no repair flagged.
+	l2 := mustOpen(t, Options{Dir: dir, Fsync: true})
+	defer l2.Close()
+	lsns, bodies := collect(t, l2)
+	if len(lsns) != 3 || l2.TailLSN() != 3 {
+		t.Fatalf("recovered %d records, tail %d; want 3", len(lsns), l2.TailLSN())
+	}
+	if !bytes.Equal(bodies[2], body(30)) {
+		t.Fatalf("record 3 = %q, want the post-truncate append", bodies[2])
+	}
+	if st := l2.Stats(); st.RepairedTail || st.Quarantined != 0 {
+		t.Fatalf("reopen after TruncateTail flagged repair: %+v", st)
+	}
+}
+
+func TestTruncateTailSoleRecordOfSegment(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record rotates into its own segment, so the
+	// tail record is its segment's only record and truncating it leaves
+	// an empty shell the next append must continue from.
+	l := mustOpen(t, Options{Dir: dir, Fsync: true, SegmentBytes: 1})
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateTail(3); err != nil {
+		t.Fatal(err)
+	}
+	if lsn, err := l.Append(body(30)); err != nil || lsn != 3 {
+		t.Fatalf("append after truncate: lsn=%d err=%v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, Options{Dir: dir, Fsync: true, SegmentBytes: 1})
+	defer l2.Close()
+	lsns, bodies := collect(t, l2)
+	if len(lsns) != 3 || !bytes.Equal(bodies[2], body(30)) {
+		t.Fatalf("recovered %d records, last %q", len(lsns), bodies[len(bodies)-1])
+	}
+}

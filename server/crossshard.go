@@ -231,17 +231,36 @@ func (s *Server) stopCross() {
 	s.crossWG.Wait()
 }
 
+// maxCrossInflight caps concurrent cross-shard coordinators. Well above
+// what a closed-loop client population reaches (loadgen's default is 16
+// issuing goroutines), so only a pathological flood — an open-loop
+// client pipelining cross-shard envelopes faster than the per-shard
+// commit pipelines drain them — ever sees the fast-fail.
+const maxCrossInflight = 256
+
 // commitCrossShard answers a mutating multi-shard envelope via the
 // ordered-commit protocol, asynchronously (the coordinator blocks on
 // every participant's commit slot, which can take a group commit's
-// latency per shard — the connection's reader loop must not).
+// latency per shard — the connection's reader loop must not). In-flight
+// coordinators are bounded by crossSem; past the cap the envelope is
+// refused with a retryable error rather than queued without limit.
 func (s *Server) commitCrossShard(req *Request, plan *txPlan, deliver func(Response)) {
+	select {
+	case s.crossSem <- struct{}{}:
+	default:
+		deliver(Response{ID: req.ID, Status: StatusErr, Msg: "too many in-flight cross-shard transactions; retry"})
+		return
+	}
 	if !s.beginCross() {
+		<-s.crossSem
 		deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
 		return
 	}
 	go func() {
-		defer s.crossWG.Done()
+		defer func() {
+			<-s.crossSem
+			s.crossWG.Done()
+		}()
 		deliver(s.runCrossShard(req, plan))
 	}()
 }

@@ -327,9 +327,12 @@ func TestGSNRelativeOrderOnDisk(t *testing.T) {
 // TestIncompleteGSNReconciliation: a crash can land between the
 // participants' fsyncs, leaving a GSN record on some shards' logs and
 // not others. Recovery must drop the envelope EVERYWHERE (it was never
-// acked — the coordinator's append had not returned) — and must refuse
-// to boot if anything was logged after a dropped record, because that
-// state was built on the half-commit.
+// acked — the coordinator's append had not returned) AND physically
+// erase the dropped record, so later boots neither refuse on the stale
+// orphan once new batches append past it nor resurrect it when the
+// missing peer's snapshot watermark advances past its GSN. A dropped
+// record at a non-tail position on first sight is still refused: that
+// log holds state built on the half-commit.
 func TestIncompleteGSNReconciliation(t *testing.T) {
 	const shards = 2
 	dir := t.TempDir()
@@ -348,22 +351,54 @@ func TestIncompleteGSNReconciliation(t *testing.T) {
 	}
 	s.Close()
 
-	// Forge the torn tail: a record for gsn 999 naming both shards,
-	// present only on shard 0.
-	orphan := &Request{Op: OpTx, Tx: &Tx{Ops: []TxOp{{Op: OpMapAdd, Name: names[0], Key: "bal", Delta: 7}}}}
-	body, err := encodeGSNRecord(999, []int{0, 1}, orphan)
-	if err != nil {
-		t.Fatal(err)
+	// forgeOrphan appends the torn tail: a record for gsn naming both
+	// shards, present only on shard 0 — as if the crash landed between
+	// the participants' fsyncs.
+	forgeOrphan := func(gsn uint64) {
+		t.Helper()
+		orphan := &Request{Op: OpTx, Tx: &Tx{Ops: []TxOp{{Op: OpMapAdd, Name: names[0], Key: "bal", Delta: 7}}}}
+		body, err := encodeGSNRecord(gsn, []int{0, 1}, orphan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "shard-0"), Fsync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wl.Append(body); err != nil {
+			t.Fatal(err)
+		}
+		wl.Close()
 	}
-	wl, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "shard-0"), Fsync: true})
-	if err != nil {
-		t.Fatal(err)
+	// shard0GSNs lists the GSN records shard 0's log still holds.
+	shard0GSNs := func() []uint64 {
+		t.Helper()
+		wl, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "shard-0")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wl.Close()
+		var gsns []uint64
+		err = wl.Replay(func(lsn uint64, body []byte) error {
+			if !isGSNRecord(body) {
+				return nil
+			}
+			gsn, _, _, err := decodeGSNRecord(body)
+			if err != nil {
+				return err
+			}
+			gsns = append(gsns, gsn)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gsns
 	}
-	if _, err := wl.Append(body); err != nil {
-		t.Fatal(err)
-	}
-	wl.Close()
 
+	// 1. Orphan at the tail: recovery drops it — and ERASES it, so there
+	// is nothing left to re-judge next boot.
+	forgeOrphan(999)
 	s2, err := New(cfg)
 	if err != nil {
 		t.Fatalf("recovery refused a reconcilable torn tail: %v", err)
@@ -373,15 +408,20 @@ func TestIncompleteGSNReconciliation(t *testing.T) {
 		t.Errorf("balance = %d want 10: the dropped gsn 999 leaked into the store", v)
 	}
 	s2.Close()
+	for _, gsn := range shard0GSNs() {
+		if gsn == 999 {
+			t.Fatal("dropped gsn 999 still on disk after recovery")
+		}
+	}
 
-	// Same torn record, but with a batch logged AFTER it: now the tail
-	// above it depends on the half-commit, and the boot must fail.
-	wl, err = wal.Open(wal.Options{Dir: filepath.Join(dir, "shard-0"), Fsync: true})
+	// 2. Life goes on after the drop: a batch appended where the orphan
+	// used to sit must not poison the next boot (before the erase, the
+	// stale orphan sat at a non-tail position and recovery permanently
+	// refused to start).
+	wl, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "shard-0"), Fsync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// s2's recovery replayed and re-logged nothing, so the orphan is
-	// still the tail; append a plain batch after it.
 	frame, err := AppendRequest(nil, &Request{Op: OpMapPut, Name: names[0], Key: "later", Value: []byte("x")})
 	if err != nil {
 		t.Fatal(err)
@@ -390,7 +430,111 @@ func TestIncompleteGSNReconciliation(t *testing.T) {
 		t.Fatal(err)
 	}
 	wl.Close()
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery refused a log that appended past an erased orphan: %v", err)
+	}
+	resp = submitOne(t, s3, &Request{Op: OpMapGet, Name: names[0], Key: "later"})
+	if resp.Status != StatusOK || !resp.Found {
+		t.Errorf("post-drop batch lost: %+v", resp)
+	}
+	s3.Close()
+
+	// 3. Watermark advance on the peer must not resurrect a dropped
+	// envelope: after the drop, a later cross-shard commit plus a
+	// checkpoint pushes shard 1's snapshot watermark past the orphan's
+	// GSN — before the erase, the next boot reclassified the orphan as
+	// complete and replayed its 7 on shard 0 only (silent divergence).
+	forgeOrphan(2999)
+	s4, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = crossCommit(t, s4, []TxOp{
+		{Op: OpMapAdd, Name: names[0], Key: "bal", Delta: 1},
+		{Op: OpMapAdd, Name: names[1], Key: "bal", Delta: 1},
+	})
+	if resp.Status != StatusOK {
+		t.Fatalf("post-drop cross commit: %+v", resp)
+	}
+	if err := s4.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s4.Close()
+	s5, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery refused after peer watermark advanced: %v", err)
+	}
+	for _, sh := range []int{0, 1} {
+		resp = submitOne(t, s5, &Request{Op: OpMapGet, Name: names[sh], Key: "bal"})
+		if v, _ := DecodeInt64(resp.Value); v != 11 {
+			t.Errorf("shard %d balance = %d want 11 (dropped envelope resurrected?)", sh, v)
+		}
+	}
+	s5.Close()
+
+	// 4. A dropped record at a non-tail position on FIRST sight is still
+	// refused: the tail above it was built on the half-commit.
+	wl, err = wal.Open(wal.Options{Dir: filepath.Join(dir, "shard-0"), Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := &Request{Op: OpTx, Tx: &Tx{Ops: []TxOp{{Op: OpMapAdd, Name: names[0], Key: "bal", Delta: 7}}}}
+	body, err := encodeGSNRecord(5999, []int{0, 1}, orphan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Append(body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Append(frame); err != nil {
+		t.Fatal(err)
+	}
+	wl.Close()
 	if _, err := New(cfg); err == nil {
 		t.Fatal("recovery accepted a log whose tail was built on a dropped cross-shard commit")
+	}
+}
+
+// TestCrossShardInflightCap: coordinators are one goroutine each and
+// envelopes sharing a shard serialize on its commit pipeline, so a
+// flood past maxCrossInflight must fail fast instead of accumulating
+// unbounded goroutines.
+func TestCrossShardInflightCap(t *testing.T) {
+	s, err := New(Config{Shards: 2, Workers: 2, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	names := namesFor(t, "cap", 2, []int{0, 1})
+	ops := []TxOp{
+		{Op: OpMapAdd, Name: names[0], Key: "bal", Delta: 1},
+		{Op: OpMapAdd, Name: names[1], Key: "bal", Delta: 1},
+	}
+	req := &Request{Op: OpTx, Tx: &Tx{Ops: ops}}
+	plan := classifyTx(req.Tx, 2)
+	if plan.kind != planCross {
+		t.Fatalf("plan = %+v", plan)
+	}
+
+	// Saturate the semaphore as if maxCrossInflight coordinators were
+	// already parked, then submit one more: it must be refused, not
+	// queued.
+	for i := 0; i < maxCrossInflight; i++ {
+		s.crossSem <- struct{}{}
+	}
+	done := make(chan Response, 1)
+	s.commitCrossShard(req, &plan, func(r Response) { done <- r })
+	if r := <-done; r.Status != StatusErr {
+		t.Fatalf("saturated coordinator pool answered %+v, want StatusErr", r)
+	}
+	for i := 0; i < maxCrossInflight; i++ {
+		<-s.crossSem
+	}
+
+	// With capacity back, the same envelope commits.
+	s.commitCrossShard(req, &plan, func(r Response) { done <- r })
+	if r := <-done; r.Status != StatusOK {
+		t.Fatalf("post-drain cross commit: %+v", r)
 	}
 }

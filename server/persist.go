@@ -503,7 +503,12 @@ func (sh *shard) scanStore(shards int) (*shardScan, error) {
 // the coordinator held every participant's commit slots until all
 // appends returned, so a lost append means the record is the very last
 // thing its log ever received. Any shard holding a dropped GSN
-// anywhere but its tail is divergence, and the boot fails.
+// anywhere but its tail is divergence, and the boot fails. A dropped
+// record is then physically truncated from its log (openDurability
+// phase B′) before the server serves: left on disk it would sit at a
+// non-tail position after the next append — failing every later boot —
+// or be resurrected by the watermark rule once the missing peer's
+// snapshot advances past its GSN.
 func reconcileGSNs(scans []*shardScan) (dropped map[uint64]bool, maxGSN uint64, err error) {
 	present := make([]map[uint64]bool, len(scans))
 	for i, sc := range scans {

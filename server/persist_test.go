@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"pnstm/internal/wal"
 	"pnstm/server"
 )
 
@@ -571,5 +572,51 @@ func TestPersistForcesSingleInflight(t *testing.T) {
 	s2 := startServer(t, persistCfg(dir))
 	if sum, err := dial(t, s2, 1).CounterSum("c"); err != nil || sum != 200 {
 		t.Fatalf("recovered counter = %d,%v want 200", sum, err)
+	}
+}
+
+// TestPersistManifestUpgradeAfterRecovery: opening a version-1 data
+// directory upgrades its manifest to the current version — but only
+// once recovery has succeeded. A failed recovery must leave the
+// manifest untouched, so the operator can still fall back to the
+// previous binary (whose version gate would refuse a prematurely
+// upgraded directory).
+func TestPersistManifestUpgradeAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	if err := wal.WriteManifest(dir, wal.Manifest{Version: 1, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A segment file with a garbage header makes recovery fail outright.
+	seg := filepath.Join(dir, "wal-0000000000000001.log")
+	if err := os.WriteFile(seg, []byte("not a wal segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{Shards: 1, Workers: 2, DataDir: dir, Fsync: true}
+	if _, err := server.New(cfg); err == nil {
+		t.Fatal("recovery accepted a garbage segment")
+	}
+	m, ok, err := wal.ReadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest after failed recovery: %+v ok=%v err=%v", m, ok, err)
+	}
+	if m.Version != 1 {
+		t.Fatalf("failed recovery upgraded the manifest to version %d", m.Version)
+	}
+
+	// With the bad segment gone, recovery succeeds and the upgrade lands.
+	if err := os.Remove(seg); err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	m, ok, err = wal.ReadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest after successful recovery: %+v ok=%v err=%v", m, ok, err)
+	}
+	if m.Version != wal.ManifestVersion {
+		t.Fatalf("manifest version = %d, want %d after a successful open", m.Version, wal.ManifestVersion)
 	}
 }

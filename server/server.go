@@ -231,6 +231,14 @@ type Server struct {
 	crossStopped bool
 	crossWG      sync.WaitGroup
 
+	// crossSem bounds in-flight cross-shard coordinators (one goroutine
+	// each, see commitCrossShard): envelopes sharing a shard serialize
+	// on its commit pipeline anyway, so past a generous cap extra
+	// coordinators only queue — a flood would otherwise accumulate
+	// unbounded goroutines and pending responses. Beyond the cap the
+	// server fails fast with a retryable error.
+	crossSem chan struct{}
+
 	ln     net.Listener
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -246,8 +254,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:   cfg,
-		conns: make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		conns:    make(map[net.Conn]struct{}),
+		crossSem: make(chan struct{}, maxCrossInflight),
 	}
 	teardown := func() {
 		for _, sh := range s.shards {
@@ -307,6 +316,7 @@ func shardDataDir(base string, id, n int) string {
 // of them), then replay, skipping the dropped records.
 func (s *Server) openDurability() error {
 	dir := s.cfg.DataDir
+	upgradeManifest := false
 	m, ok, err := wal.ReadManifest(dir)
 	if err != nil {
 		return err
@@ -322,13 +332,15 @@ func (s *Server) openDurability() error {
 		return fmt.Errorf("server: data dir %s manifest version %d is newer than this binary supports (max %d); upgrade the server",
 			dir, m.Version, wal.ManifestVersion)
 	case ok && m.Version < wal.ManifestVersion:
-		// Upgrade in place: this server may write GSN-stamped
-		// cross-shard records a version-1 reader would reject as
-		// corrupt, so declare the format before the first such record
-		// can exist.
-		if err := wal.WriteManifest(dir, wal.Manifest{Version: wal.ManifestVersion, Shards: m.Shards}); err != nil {
-			return err
-		}
+		// Upgrade in place — but only after recovery succeeds (the write
+		// is at the end of this function). Stamping the new version first
+		// would brand a directory that still holds only old-format
+		// records: if recovery then failed, falling back to the previous
+		// binary would be refused by its own version gate for no reason.
+		// Deferring is safe because no GSN-stamped record can exist
+		// before the server starts accepting cross-shard commits, which
+		// is after openDurability returns.
+		upgradeManifest = true
 	case !ok:
 		// No manifest: the directory is either fresh or written by a
 		// pre-manifest (single-shard) version. A sharded layout whose
@@ -393,8 +405,34 @@ func (s *Server) openDurability() error {
 	}
 	s.gsn.Store(maxGSN)
 
+	// Phase B′ (per shard): physically remove every dropped record from
+	// its log before serving. Each is provably the log's tail
+	// (reconcileGSNs refused the boot otherwise), so this is the same
+	// cut Open's torn-tail repair makes — the record was never acked, so
+	// nothing is lost. Leaving the bytes behind would poison LATER
+	// boots: once new batches append past the orphan it sits at a
+	// non-tail position and the completeness check above permanently
+	// refuses to start, and once the missing peer's snapshot watermark
+	// advances past the orphan's GSN the watermark rule would
+	// reclassify it as complete and replay it on this shard only —
+	// silent cross-shard divergence. The watermark-implies-applied
+	// invariant only holds for records that survive recovery; dropping
+	// a record obliges us to erase it.
+	for i, sh := range s.shards {
+		for _, g := range scans[i].gsns {
+			if !dropped[g.gsn] {
+				continue
+			}
+			if err := sh.wal.TruncateTail(g.lsn); err != nil {
+				return fmt.Errorf("shard %d: drop incomplete cross-shard gsn %d: %w", sh.id, g.gsn, err)
+			}
+			scans[i].tailLSN = g.lsn - 1
+		}
+	}
+
 	// Phase C (per shard, concurrent): import the snapshot and replay
-	// the log, skipping dropped GSN records.
+	// the log. Dropped GSN records are already gone from disk; the
+	// replay-time skip remains as defense in depth.
 	for i, sh := range s.shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
@@ -405,7 +443,15 @@ func (s *Server) openDurability() error {
 		}(i, sh)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	if upgradeManifest {
+		if err := wal.WriteManifest(dir, wal.Manifest{Version: wal.ManifestVersion, Shards: len(s.shards)}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // shardFor routes a structure name to its owning shard.
