@@ -15,15 +15,22 @@
 // key may gate against a differently-named baseline key with
 // `-metric report_key=baseline_key` (e.g. a workload report's
 // throughput_per_sec against the baseline's txmix_throughput_per_sec).
-// A metric passes when
+// A -metric passes when
 //
 //	report ≥ baseline × (1 − max-drop)
 //
-// i.e. all gated metrics are higher-is-better (throughputs, speedup
-// ratios). The baseline is a committed floor, deliberately conservative
-// so runner-to-runner variance does not flap the gate; when a PR trades
-// throughput away on purpose, re-baseline in the same PR (or use the
-// workflow's documented override label) rather than loosening max-drop.
+// i.e. -metric keys are higher-is-better (throughputs, speedup
+// ratios). Lower-is-better metrics (latencies) gate with the repeatable
+// -metric-ceiling flag instead, which passes when
+//
+//	report ≤ baseline × (1 + max-rise)
+//
+// so the committed baseline is a ceiling rather than a floor. Both
+// flags accept the report_key=baseline_key form. Baselines are
+// deliberately conservative so runner-to-runner variance does not flap
+// the gate; when a PR trades a metric away on purpose, re-baseline in
+// the same PR (or use the workflow's documented override label) rather
+// than loosening max-drop/max-rise.
 package main
 
 import (
@@ -65,10 +72,13 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 		reportPath   = flag.String("report", "", "freshly produced report to gate")
-		maxDrop      = flag.Float64("max-drop", 0.20, "largest tolerated fractional drop vs baseline")
+		maxDrop      = flag.Float64("max-drop", 0.20, "largest tolerated fractional drop vs baseline (floor metrics)")
+		maxRise      = flag.Float64("max-rise", 0.50, "largest tolerated fractional rise vs baseline (ceiling metrics)")
 		metrics      metricList
+		ceilings     metricList
 	)
-	flag.Var(&metrics, "metric", "metric key to gate (repeatable; report_key=baseline_key gates a report metric against a differently-named baseline floor)")
+	flag.Var(&metrics, "metric", "higher-is-better metric key to gate (repeatable; report_key=baseline_key gates a report metric against a differently-named baseline floor)")
+	flag.Var(&ceilings, "metric-ceiling", "lower-is-better metric key to gate (repeatable, same key syntax; passes while report ≤ baseline × (1 + max-rise))")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -78,11 +88,14 @@ func main() {
 	if *reportPath == "" {
 		fail("-report is required")
 	}
-	if len(metrics) == 0 {
-		fail("at least one -metric is required")
+	if len(metrics) == 0 && len(ceilings) == 0 {
+		fail("at least one -metric or -metric-ceiling is required")
 	}
 	if *maxDrop < 0 || *maxDrop >= 1 {
 		fail("-max-drop must be in [0,1), got %v", *maxDrop)
+	}
+	if *maxRise < 0 {
+		fail("-max-rise must be >= 0, got %v", *maxRise)
 	}
 	base, err := loadReport(*baselinePath)
 	if err != nil {
@@ -93,8 +106,7 @@ func main() {
 		fail("report: %v", err)
 	}
 
-	regressed := 0
-	for _, key := range metrics {
+	lookup := func(key string) (got, want float64) {
 		repKey, baseKey := key, key
 		if i := strings.IndexByte(key, '='); i >= 0 {
 			repKey, baseKey = key[:i], key[i+1:]
@@ -103,10 +115,16 @@ func main() {
 		if !ok {
 			fail("baseline %s has no metric %q", *baselinePath, baseKey)
 		}
-		got, ok := rep.Metrics[repKey]
+		got, ok = rep.Metrics[repKey]
 		if !ok {
 			fail("report %s has no metric %q", *reportPath, repKey)
 		}
+		return got, want
+	}
+
+	regressed := 0
+	for _, key := range metrics {
+		got, want := lookup(key)
 		floor := want * (1 - *maxDrop)
 		status := "ok"
 		if got < floor {
@@ -115,9 +133,20 @@ func main() {
 		}
 		fmt.Printf("%-32s baseline %12.2f  floor %12.2f  got %12.2f  %s\n", key, want, floor, got, status)
 	}
-	if regressed > 0 {
-		fail("%d of %d gated metrics regressed more than %.0f%% vs %s",
-			regressed, len(metrics), *maxDrop*100, *baselinePath)
+	for _, key := range ceilings {
+		got, want := lookup(key)
+		ceiling := want * (1 + *maxRise)
+		status := "ok"
+		if got > ceiling {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-32s baseline %12.2f  ceiling %10.2f  got %12.2f  %s\n", key, want, ceiling, got, status)
 	}
-	fmt.Printf("pnstm-benchgate: %d metric(s) within %.0f%% of baseline\n", len(metrics), *maxDrop*100)
+	total := len(metrics) + len(ceilings)
+	if regressed > 0 {
+		fail("%d of %d gated metrics regressed vs %s (floors -%.0f%%, ceilings +%.0f%%)",
+			regressed, total, *baselinePath, *maxDrop*100, *maxRise*100)
+	}
+	fmt.Printf("pnstm-benchgate: %d metric(s) within bounds of baseline\n", total)
 }

@@ -15,7 +15,7 @@ import (
 
 // genCfg parameterizes one load-generation run.
 type genCfg struct {
-	workload    string // readmap, queue, counter, checkout, mixed, txmix, crossshard
+	workload    string // readmap, queue, counter, checkout, mixed, txmix, crossshard, phases
 	concurrency int    // issuing goroutines
 	conns       int    // pooled client connections
 	duration    time.Duration
@@ -36,9 +36,9 @@ func (c *genCfg) runsCheckout() bool {
 
 func (c *genCfg) fillDefaults() error {
 	switch c.workload {
-	case "readmap", "queue", "counter", "checkout", "mixed", "txmix", "crossshard":
+	case "readmap", "queue", "counter", "checkout", "mixed", "txmix", "crossshard", "phases":
 	default:
-		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed, txmix or crossshard)", c.workload)
+		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed, txmix, crossshard or phases)", c.workload)
 	}
 	if c.concurrency <= 0 {
 		c.concurrency = 16
@@ -114,6 +114,11 @@ func (r *genResult) throughput() float64 {
 type driver struct {
 	cfg genCfg
 	cl  *client.Client
+
+	// start anchors the phases workload's schedule: which third of the
+	// run a goroutine is in decides the op mix it issues. Set by runLoad
+	// right before the issuing goroutines launch.
+	start time.Time
 
 	adds     atomic.Int64 // counter workload: sum of issued deltas
 	pushed   atomic.Int64
@@ -263,7 +268,7 @@ func acctPartnerOf(i, shards int) int {
 // setup provisions the structures the run reads from.
 func (d *driver) setup() error {
 	c := d.cfg
-	if c.workload == "readmap" || c.workload == "mixed" {
+	if c.workload == "readmap" || c.workload == "mixed" || c.workload == "phases" {
 		for i := 0; i < c.keys; i++ {
 			if err := d.cl.MapPut(mapName, keyName(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 				return fmt.Errorf("setup map: %w", err)
@@ -351,7 +356,7 @@ func (d *driver) snapshotBaselines() error {
 		}
 		*dst, err = f()
 	}
-	if c.workload == "readmap" || c.workload == "mixed" {
+	if c.workload == "readmap" || c.workload == "mixed" || c.workload == "phases" {
 		read(&d.base.mapLen, func() (int64, error) { return d.cl.MapLen(mapName) })
 	}
 	if c.workload == "queue" || c.workload == "mixed" {
@@ -362,7 +367,7 @@ func (d *driver) snapshotBaselines() error {
 			d.base.queues += n
 		}
 	}
-	if c.workload == "counter" || c.workload == "mixed" {
+	if c.workload == "counter" || c.workload == "mixed" || c.workload == "phases" {
 		read(&d.base.counter, func() (int64, error) { return d.cl.CounterSum(counterName) })
 	}
 	if c.runsCheckout() {
@@ -422,8 +427,44 @@ func (d *driver) op(rng *rand.Rand) error {
 			return d.opAcctRead(rng)
 		}
 		return d.opAcctTransfer(rng)
+	case "phases":
+		return d.opPhases(rng)
 	}
 	return fmt.Errorf("unreachable workload")
+}
+
+// phasesHotKeys is the write-hot phase's key-space: small enough that
+// overlapping writer batches conflict constantly — the livelock cliff
+// the adaptive controller must back away from — but not so small that
+// a pinned-static pipelining server has literally zero chance of
+// limping through (the A/B harness has a timeout for that case, but a
+// leg that completes measures more).
+const phasesHotKeys = 256
+
+// opPhases shifts the op mix with wall-clock thirds of the run:
+// read-heavy (pipelining pays, the controller should walk MaxInflight
+// up) → write-hot on a tiny key-space (overlap livelocks, the
+// controller must back off) → mixed point traffic. No single static
+// MaxInflight is right for all three — the adaptive-vs-static A/B
+// (-compare -adaptive) runs exactly this workload.
+func (d *driver) opPhases(rng *rand.Rand) error {
+	third := d.cfg.duration / 3
+	elapsed := time.Since(d.start)
+	switch {
+	case elapsed < third: // read-heavy
+		return d.opReadMapIn(rng, d.cfg.keys, 0.97)
+	case elapsed < 2*third: // write-hot on few keys
+		hot := phasesHotKeys
+		if hot > d.cfg.keys {
+			hot = d.cfg.keys
+		}
+		return d.opReadMapIn(rng, hot, 0.30)
+	default: // mixed
+		if rng.Intn(10) < 7 {
+			return d.opReadMapIn(rng, d.cfg.keys, 0.80)
+		}
+		return d.opCounter(rng)
+	}
 }
 
 // opAcctTransfer moves a few units between balances in two ledger maps
@@ -531,8 +572,15 @@ func (d *driver) opTxAudit(rng *rand.Rand) error {
 }
 
 func (d *driver) opReadMap(rng *rand.Rand) error {
-	key := keyName(rng.Intn(d.cfg.keys))
-	if rng.Float64() < d.cfg.readFrac {
+	return d.opReadMapIn(rng, d.cfg.keys, d.cfg.readFrac)
+}
+
+// opReadMapIn is opReadMap over an explicit key-space and read fraction
+// (the phases workload varies both mid-run). Writes stay inside the
+// preloaded keys, so MapLen is invariant for every caller.
+func (d *driver) opReadMapIn(rng *rand.Rand, keys int, readFrac float64) error {
+	key := keyName(rng.Intn(keys))
+	if rng.Float64() < readFrac {
 		_, _, err := d.cl.MapGet(mapName, key)
 		return err
 	}
@@ -613,7 +661,7 @@ func (d *driver) verify() []string {
 	c := d.cfg
 	fail := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
 
-	if c.workload == "readmap" || c.workload == "mixed" {
+	if c.workload == "readmap" || c.workload == "mixed" || c.workload == "phases" {
 		n, err := d.cl.MapLen(mapName)
 		if err != nil {
 			fail("map len: %v", err)
@@ -635,7 +683,7 @@ func (d *driver) verify() []string {
 			fail("queues hold %d elements, want baseline+pushed−popped = %d", remaining, want)
 		}
 	}
-	if c.workload == "counter" || c.workload == "mixed" {
+	if c.workload == "counter" || c.workload == "mixed" || c.workload == "phases" {
 		sum, err := d.cl.CounterSum(counterName)
 		if err != nil {
 			fail("counter sum: %v", err)
@@ -753,6 +801,7 @@ func runLoad(cl *client.Client, cfg genCfg) (*genResult, error) {
 	var mu sync.Mutex
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
+	d.start = start
 	var wg sync.WaitGroup
 	for g := 0; g < cfg.concurrency; g++ {
 		g := g

@@ -21,6 +21,9 @@
 //	          different shards — every mutating envelope rides the
 //	          cross-shard ordered-commit path — with the zero-sum
 //	          ledger total verified exactly at the end
+//	phases    phase-shifting mix: read-heavy → write-hot on a tiny
+//	          key-space → mixed, one third of -duration each — the
+//	          workload the adaptive-controller A/B runs on
 //
 // Usage:
 //
@@ -35,6 +38,9 @@
 //	        # BATCH — the amortization the envelope path is built on
 //	pnstm-loadgen -compare -persist -workload counter -json .
 //	        # persistence overhead A/B: in-memory vs WAL vs WAL+fsync
+//	pnstm-loadgen -compare -adaptive -workload phases -duration 9s -json .
+//	        # controller A/B: adaptive AIMD MaxInflight/BatchFanout vs
+//	        # the best pinned static config on the phase-shifting mix
 //	pnstm-loadgen -compare -shards 4 -syncdelay 2ms -min-shard-speedup 1.5
 //	        # shard-scaling A/B: 1-shard vs 4-shard durable server —
 //	        # parallel per-shard group-commit pipelines, fsyncs included
@@ -87,6 +93,8 @@ func main() {
 		syncDelay    = flag.Duration("syncdelay", 0, "compare modes: artificial per-fsync latency floor (simulates slower stable storage so the fsync/pipeline count dominates, not the box's disk)")
 		minSpeedup   = flag.Float64("min-shard-speedup", 0, "shard compare: fail unless N-shard throughput ≥ this multiple of 1-shard (0: report only)")
 		minCmpSpdup  = flag.Float64("min-speedup", 0, "compare mode: fail unless batched throughput ≥ this multiple of the serial baseline (0: report only)")
+		adaptiveCmp  = flag.Bool("adaptive", false, "with -compare: controller A/B — adaptive AIMD tuning vs pinned static MaxInflight (run it on -workload phases)")
+		minAdaptive  = flag.Float64("min-adaptive-ratio", 0, "adaptive compare: fail unless adaptive throughput ≥ this multiple of the best static config (0: report only)")
 		killAfter    = flag.Duration("kill-after", 0, "crash-recovery drill: hard-kill an embedded durable server after this long under load, restart, verify invariants")
 		dataDir      = flag.String("data-dir", "", "crash mode: data directory to crash and recover on (empty: a temp dir)")
 		recoveryChk  = flag.Bool("recovery-check", false, "verify a restarted pnstmd at -addr holds the recovered-store invariants (conservation, no oversell)")
@@ -126,6 +134,18 @@ func main() {
 
 	if *killAfter > 0 {
 		if err := runCrash(cfg, *workers, *compareBatch, *shards, *dataDir, *killAfter, *jsonDir, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *adaptiveCmp && !*compare {
+		fmt.Fprintln(os.Stderr, "pnstm-loadgen: -adaptive requires -compare (the controller A/B runs embedded servers)")
+		os.Exit(2)
+	}
+	if *compare && *adaptiveCmp {
+		if err := runAdaptiveCompare(cfg, *workers, *compareBatch, *minAdaptive, *jsonDir, *name); err != nil {
 			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -249,6 +269,14 @@ func buildReport(cfg genCfg, res *genResult, name string) *bench.Report {
 		metrics["tx_aborted"] = float64(res.runtimeStat.aborted)
 		rt := res.runtimeUsed.Runtime
 		rep.Stats = &rt
+		// Server-side latency summaries (OpStats histogram quantiles, by
+		// op class) — measured inside the server, so they exclude client
+		// scheduling and the network round trip.
+		for class, ls := range res.runtimeUsed.Latency {
+			metrics["server_"+class+"_p50_us"] = ls.P50us
+			metrics["server_"+class+"_p95_us"] = ls.P95us
+			metrics["server_"+class+"_p99_us"] = ls.P99us
+		}
 		rep.Config["server_max_batch"] = res.runtimeUsed.MaxBatch
 		rep.Config["server_workers"] = res.runtimeUsed.Workers
 		rep.Config["server_serial"] = res.runtimeUsed.Serial

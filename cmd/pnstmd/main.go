@@ -19,6 +19,8 @@
 //	pnstmd -data-dir ./pnstm-data           # durable: WAL + snapshots, crash-safe
 //	pnstmd -data-dir ./pnstm-data -shards 4 # durable AND sharded: parallel fsyncs
 //	pnstmd -data-dir ./pnstm-data -fsync=false -snapshot-every 10s
+//	pnstmd -admin :7456 -adaptive            # Prometheus /metrics, /healthz,
+//	                                         # /readyz, live /config, self-tuning
 //
 // With -shards N the store is split into N engine partitions by
 // structure-name hash: each shard owns its own runtime, registry,
@@ -64,6 +66,8 @@ func main() {
 		snapEvery  = flag.Duration("snapshot-every", time.Minute, "background checkpoint cadence (0 disables; with -data-dir)")
 		walSegment = flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0: default 64 MiB)")
 		syncDelay  = flag.Duration("syncdelay", 0, "artificial per-fsync latency floor (benchmark hook simulating slower stable storage, same knob as pnstm-loadgen -syncdelay; with -data-dir -fsync)")
+		adminAddr  = flag.String("admin", "", "HTTP admin listen address serving /metrics (Prometheus), /healthz, /readyz and GET/PUT /config (empty: no admin listener)")
+		adaptive   = flag.Bool("adaptive", false, "adaptive controller: walk each shard's inflight/fanout from observed abort rate and batch occupancy (togglable live via PUT /config)")
 	)
 	flag.Parse()
 
@@ -95,6 +99,8 @@ func main() {
 		WALSyncDelay:    *syncDelay,
 		SnapshotEvery:   *snapEvery,
 		WALSegmentBytes: *walSegment,
+		AdminAddr:       *adminAddr,
+		Adaptive:        *adaptive,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnstmd: %v\n", err)
@@ -118,6 +124,9 @@ func main() {
 	}
 	fmt.Printf("pnstmd listening on %s (shards=%d workers=%d batch=%d delay=%v runtime=%s)\n",
 		s.Addr(), *shards, *workers, *batch, *batchdelay, mode)
+	if a := s.AdminAddr(); a != nil {
+		fmt.Printf("pnstmd admin on http://%s (/metrics /healthz /readyz /config, adaptive=%v)\n", a, *adaptive)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -81,8 +81,9 @@ func sanitizeName(name string) string {
 
 // LatencyMetrics reduces a latency sample set to the standard percentile
 // metrics (microseconds): latency_p50_us, _p90_us, _p99_us, _max_us and
-// latency_mean_us. samples is sorted in place. Empty input yields an
-// empty map.
+// latency_mean_us, plus latency_p99_ms — the same p99 in milliseconds,
+// the key latency CEILINGS gate on (pnstm-benchgate -metric-ceiling).
+// samples is sorted in place. Empty input yields an empty map.
 func LatencyMetrics(samples []time.Duration) map[string]float64 {
 	out := make(map[string]float64)
 	if len(samples) == 0 {
@@ -98,6 +99,7 @@ func LatencyMetrics(samples []time.Duration) map[string]float64 {
 	out["latency_p50_us"] = us(percentile(samples, 0.50))
 	out["latency_p90_us"] = us(percentile(samples, 0.90))
 	out["latency_p99_us"] = us(percentile(samples, 0.99))
+	out["latency_p99_ms"] = out["latency_p99_us"] / 1000
 	out["latency_max_us"] = us(samples[len(samples)-1])
 	return out
 }

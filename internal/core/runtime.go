@@ -74,6 +74,27 @@ type Config struct {
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 
+	// CrisisAborts is the number of consecutive ROOT aborts after which
+	// the cross-root livelock breaker engages. Nested escalation (above)
+	// resolves contention inside one block tree, but concurrent root
+	// transactions with overlapping write sets can still abort each other
+	// forever: exponential backoff tops out at BackoffMax, which is
+	// comparable to one root attempt's execution time, so staggering
+	// never separates them. A root that aborts this many times contends
+	// for the runtime's single crisis token: the winner keeps retrying
+	// with normal backoff while every loser sleeps CrisisBackoff-scale
+	// intervals between attempts — quiescing the system so the token
+	// holder commits, releases the token, and the next struggling root
+	// takes it. Token waiters only ever sleep (never block on a lock
+	// while holding a worker slot), so the breaker cannot deadlock the
+	// scheduler. Default 16.
+	CrisisAborts int
+
+	// CrisisBackoff is the sleep interval for roots that lost the crisis
+	// token race. It must dwarf a typical root attempt so the holder runs
+	// effectively alone. Default 2ms.
+	CrisisBackoff time.Duration
+
 	// Seed seeds the per-slot RNGs used for backoff jitter. Default 1.
 	Seed int64
 }
@@ -103,6 +124,12 @@ func (c *Config) fillDefaults() error {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 100 * time.Microsecond
 	}
+	if c.CrisisAborts <= 0 {
+		c.CrisisAborts = 16
+	}
+	if c.CrisisBackoff <= 0 {
+		c.CrisisBackoff = 2 * time.Millisecond
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -124,6 +151,13 @@ type Runtime struct {
 
 	closeMu sync.RWMutex
 	closed  atomic.Bool
+
+	// crisisToken is the cross-root livelock breaker's exclusivity hint:
+	// held (true) while one root transaction that crossed CrisisAborts
+	// retries at full speed and its competitors quiesce. A hint, not a
+	// lock — losers keep retrying on a slow clock, so a stuck holder can
+	// never wedge the runtime.
+	crisisToken atomic.Bool
 
 	// testHook, when non-nil, receives diagnostic scheduling events
 	// (dispatch decisions, borrow conversions). Tests only.

@@ -13,6 +13,7 @@ type Stats struct {
 	Conflicts   uint64 // conflict detections (>= Aborted: spinning may resolve some)
 	SpinSaves   uint64 // conflicts that disappeared while re-testing (lazy-publication window)
 	Escalations uint64 // conflicts propagated to the parent transaction (nesting-aware CM)
+	Crises      uint64 // cross-root livelock-breaker engagements (crisis-token acquisitions)
 
 	// Scheduling.
 	Dispatches     uint64 // blocks dispatched with a reserved bitnum
@@ -45,6 +46,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Conflicts:      s.Conflicts - prev.Conflicts,
 		SpinSaves:      s.SpinSaves - prev.SpinSaves,
 		Escalations:    s.Escalations - prev.Escalations,
+		Crises:         s.Crises - prev.Crises,
 		Dispatches:     s.Dispatches - prev.Dispatches,
 		BorrowDispatch: s.BorrowDispatch - prev.BorrowDispatch,
 		InlineChildren: s.InlineChildren - prev.InlineChildren,
@@ -77,6 +79,7 @@ func (s Stats) Add(o Stats) Stats {
 		Conflicts:      s.Conflicts + o.Conflicts,
 		SpinSaves:      s.SpinSaves + o.SpinSaves,
 		Escalations:    s.Escalations + o.Escalations,
+		Crises:         s.Crises + o.Crises,
 		Dispatches:     s.Dispatches + o.Dispatches,
 		BorrowDispatch: s.BorrowDispatch + o.BorrowDispatch,
 		InlineChildren: s.InlineChildren + o.InlineChildren,
@@ -103,7 +106,7 @@ func (s Stats) AbortRate() float64 {
 // counters is the live, atomically updated form of Stats.
 type counters struct {
 	begun, committed, aborted, userAbort, conflicts, spinSaves       atomic.Uint64
-	escalations                                                      atomic.Uint64
+	escalations, crises                                              atomic.Uint64
 	dispatches, borrowDispatch, inlineChildren, serializedFork       atomic.Uint64
 	handoffs, slotYields, selfDiscards, remoteDiscards, borrowSwitch atomic.Uint64
 	helpPublishes                                                    atomic.Uint64
@@ -118,6 +121,7 @@ func (c *counters) snapshot() Stats {
 		Conflicts:      c.conflicts.Load(),
 		SpinSaves:      c.spinSaves.Load(),
 		Escalations:    c.escalations.Load(),
+		Crises:         c.crises.Load(),
 		Dispatches:     c.dispatches.Load(),
 		BorrowDispatch: c.borrowDispatch.Load(),
 		InlineChildren: c.inlineChildren.Load(),

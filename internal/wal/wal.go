@@ -75,6 +75,12 @@ type Options struct {
 	// like real device latency occupies the commit pipeline. Ignored
 	// without Fsync.
 	SyncDelay time.Duration
+
+	// ObserveSync, when set, is called with the wall-clock duration of
+	// every fsync (including any SyncDelay floor) — the server's fsync
+	// latency histogram hook. Called inside the append lock; must be
+	// cheap and must not call back into the log.
+	ObserveSync func(time.Duration)
 }
 
 // Stats counts the log's activity since Open. The Syncs counter is what
@@ -491,6 +497,7 @@ func (l *Log) Append(body []byte) (uint64, error) {
 	}
 	l.size += int64(len(rec))
 	if l.opts.Fsync {
+		syncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			// After a failed fsync the page-cache state of these bytes is
 			// unknowable; rewind and stay latched — better a loudly failed
@@ -500,6 +507,9 @@ func (l *Log) Append(body []byte) (uint64, error) {
 		}
 		if l.opts.SyncDelay > 0 {
 			time.Sleep(l.opts.SyncDelay)
+		}
+		if l.opts.ObserveSync != nil {
+			l.opts.ObserveSync(time.Since(syncStart))
 		}
 		l.stats.Syncs++
 	}
@@ -652,6 +662,17 @@ func (l *Log) Fail(cause error) {
 	if l.failed == nil {
 		l.failed = cause
 	}
+}
+
+// Err reports the latch: nil while the log is healthy, the first
+// unrecoverable error once Append/Fail has latched it shut. The admin
+// surface's /readyz turns 503 when any shard's log reports non-nil —
+// the store is still serving reads from memory but can no longer
+// accept durable writes.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // Sync forces an fsync of the active segment (graceful shutdown's final

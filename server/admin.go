@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// The admin surface is a second, HTTP listener (Config.AdminAddr)
+// serving the operational plane: Prometheus metrics, liveness and
+// readiness, and the live configuration. It is separate from the
+// binary protocol port so an operator's curl and a Prometheus scraper
+// never compete with data traffic for frames, and so it can keep
+// answering during the graceful drain (Close shuts it down LAST).
+
+// adminDrainTimeout bounds how long Close waits for in-flight admin
+// requests (scrapes are milliseconds; this is pure safety margin).
+const adminDrainTimeout = 5 * time.Second
+
+// Ready reports whether the server is accepting work: nil when ready,
+// otherwise the reason. Not ready once shutdown begins (Close/Kill flip
+// s.closed before anything else, so /readyz turns 503 immediately — a
+// load balancer stops routing before the drain starts losing it
+// requests) and when any shard's WAL has latched shut (the store still
+// serves reads from memory but can no longer accept durable writes).
+func (s *Server) Ready() error {
+	if s.closed.Load() {
+		return fmt.Errorf("shutting down")
+	}
+	for _, sh := range s.shards {
+		if sh.wal != nil {
+			if err := sh.wal.Err(); err != nil {
+				return fmt.Errorf("shard %d wal latched: %w", sh.id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// AdminAddr returns the bound admin listen address (nil before Listen
+// or without Config.AdminAddr) — how tests bind ":0" and find the port.
+func (s *Server) AdminAddr() net.Addr {
+	if s.adminLn == nil {
+		return nil
+	}
+	return s.adminLn.Addr()
+}
+
+// listenAdmin binds the admin address and builds the HTTP server.
+// Called from Listen; serveAdmin starts the accept loop.
+func (s *Server) listenAdmin() error {
+	if s.cfg.AdminAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.AdminAddr)
+	if err != nil {
+		return fmt.Errorf("server: admin listen: %w", err)
+	}
+	s.adminLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/config", s.handleConfig)
+	s.adminSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return nil
+}
+
+// serveAdmin runs the admin accept loop in the background (idempotent;
+// called from Serve so the admin plane lives exactly as long as the
+// data plane accepts).
+func (s *Server) serveAdmin() {
+	if s.adminSrv == nil || s.adminLn == nil {
+		return
+	}
+	if !s.adminServing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		// ErrServerClosed is the normal Shutdown/Close exit; anything else
+		// means the admin plane died while the data plane lives — keep
+		// serving data, the next health probe of the admin port will page.
+		_ = s.adminSrv.Serve(s.adminLn)
+	}()
+}
+
+// closeAdmin tears the admin plane down. Graceful drains in-flight
+// requests (scrapes mid-shutdown complete); hard stop cuts them.
+func (s *Server) closeAdmin(graceful bool) {
+	if s.adminSrv == nil {
+		return
+	}
+	if graceful {
+		ctx, cancel := context.WithTimeout(context.Background(), adminDrainTimeout)
+		defer cancel()
+		_ = s.adminSrv.Shutdown(ctx)
+		return
+	}
+	_ = s.adminSrv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.reg.WritePrometheus(w)
+}
+
+// handleHealthz is liveness: 200 while the process can answer at all.
+// Readiness (can it do useful work) is /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.Ready(); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, err.Error())
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.ConfigSnapshot())
+	case http.MethodPut:
+		var u ConfigUpdate
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields() // a typoed knob name must not silently no-op
+		if err := dec.Decode(&u); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		view, err := s.ApplyConfig(&u)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	default:
+		w.Header().Set("Allow", "GET, PUT")
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -60,25 +60,29 @@ const minRequestsPerBlock = 8
 
 // batcher coalesces submitted requests into group commits.
 type batcher struct {
-	rt       *pnstm.Runtime
-	reg      *stmlib.Registry
-	wal      *wal.Log // nil: in-memory only
-	in       chan *pending
-	maxBatch int
-	fanout   int // parallel blocks per batch (~worker count)
-	delay    time.Duration
-	stop     chan struct{}
-	done     chan struct{}
+	rt  *pnstm.Runtime
+	reg *stmlib.Registry
+	wal *wal.Log // nil: in-memory only
+	in  chan *pending
+	// knobs carries the live-mutable batching parameters (maxBatch,
+	// fanout, delay); the loop re-reads them at batch boundaries so
+	// /config and the adaptive controller retune a running shard.
+	knobs *shardKnobs
+	stop  chan struct{}
+	done  chan struct{}
 
 	// smu/stopped fence submit against close: see submit.
 	smu     sync.RWMutex
 	stopped bool
 
-	// inflight bounds concurrent group commits; see Config.MaxInflight
-	// for why the default is 1 (overlapping write-heavy batches can
-	// livelock) and when pipelining is worth turning on.
-	inflight chan struct{}
-	execWG   sync.WaitGroup
+	// pl bounds concurrent group commits with a live-adjustable limit;
+	// see Config.MaxInflight for why the default is 1 (overlapping
+	// write-heavy batches can livelock) and when pipelining is worth
+	// turning on.
+	pl     *pipeline
+	execWG sync.WaitGroup
+
+	obs *batchObs // nil: uninstrumented
 
 	mu       sync.Mutex
 	batches  uint64
@@ -91,20 +95,18 @@ func newBatcher(rt *pnstm.Runtime, reg *stmlib.Registry, wl *wal.Log, maxBatch, 
 	if fanout < 1 {
 		fanout = 1
 	}
-	if inflight < 1 {
-		inflight = 1
-	}
 	b := &batcher{
-		rt:       rt,
-		reg:      reg,
-		wal:      wl,
-		in:       make(chan *pending, 4*maxBatch),
-		maxBatch: maxBatch,
-		fanout:   fanout,
-		inflight: make(chan struct{}, inflight),
-		delay:    delay,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		rt:  rt,
+		reg: reg,
+		wal: wl,
+		// The queue buffer is sized off the boot maxBatch and stays fixed:
+		// raising the knob live still works (collect drains whatever is
+		// queued), the channel is just a smaller staging area.
+		in:    make(chan *pending, 4*maxBatch),
+		knobs: newShardKnobs(maxBatch, fanout, delay),
+		pl:    newPipeline(inflight),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	go b.loop()
 	return b
@@ -146,12 +148,14 @@ func (b *batcher) loop() {
 	for {
 		select {
 		case p := <-b.in:
+			formStart := time.Now()
 			batch := b.collect(p)
-			b.inflight <- struct{}{} // cap concurrent group commits
+			b.pl.acquire() // cap concurrent group commits (live limit)
+			b.obs.observeBatch(len(batch), time.Since(formStart))
 			b.execWG.Add(1)
 			go func() {
 				defer b.execWG.Done()
-				defer func() { <-b.inflight }()
+				defer b.pl.release()
 				b.execute(batch)
 			}()
 		case <-b.stop:
@@ -176,8 +180,10 @@ func (b *batcher) loop() {
 // which keeps unloaded latency at the floor while still group-committing
 // under concurrency.
 func (b *batcher) collect(first *pending) []*pending {
+	maxBatch := int(b.knobs.maxBatch.Load())
+	delay := time.Duration(b.knobs.delay.Load())
 	batch := []*pending{first}
-	for len(batch) < b.maxBatch {
+	for len(batch) < maxBatch {
 		select {
 		case p := <-b.in:
 			batch = append(batch, p)
@@ -186,12 +192,12 @@ func (b *batcher) collect(first *pending) []*pending {
 		}
 		break
 	}
-	if b.delay <= 0 || len(batch) >= b.maxBatch {
+	if delay <= 0 || len(batch) >= maxBatch {
 		return batch
 	}
-	timer := time.NewTimer(b.delay)
+	timer := time.NewTimer(delay)
 	defer timer.Stop()
-	for len(batch) < b.maxBatch {
+	for len(batch) < maxBatch {
 		select {
 		case p := <-b.in:
 			batch = append(batch, p)
@@ -246,9 +252,10 @@ func (b *batcher) execute(batch []*pending) {
 			// pays only when a block carries several point requests; small
 			// batches fork fewer blocks (pipelined batches keep the other
 			// workers fed) and a lone request runs inline.
+			fanout := int(b.knobs.fanout.Load())
 			groups := len(batch) / minRequestsPerBlock
-			if groups > b.fanout {
-				groups = b.fanout
+			if groups > fanout {
+				groups = fanout
 			}
 			if groups > len(batch) {
 				groups = len(batch)
@@ -312,6 +319,9 @@ func (b *batcher) execute(batch []*pending) {
 			resp = Response{ID: p.req.ID, Status: StatusErr, Msg: "server closing"}
 		} else if resp.Status == 0 {
 			resp = Response{ID: p.req.ID, Status: StatusErr, Msg: "internal: request not executed"}
+		}
+		if resp.Status == StatusRejected {
+			b.obs.observeRejected()
 		}
 		p.deliver(resp)
 	}
@@ -683,24 +693,16 @@ func judgeCounterGuard(op *TxOp, total int64) (msg string, ok bool) {
 	return "", true
 }
 
-// reservePipeline fills every in-flight slot of the batcher, so no new
-// group commit can launch until the returned release runs: the caller
-// owns the position between two group commits in this engine's commit
-// order — a commit ticket for work that is not a batch (checkpoints'
-// bulk reads, cross-shard envelope slices). With a WAL the capacity is
-// 1 (D20), so one slot is the whole pipeline. Filling several slots is
-// not atomic; concurrent reservers must serialize externally
-// (shard.pauseMu).
+// reservePipeline takes exclusive ownership of the batcher's pipeline,
+// so no new group commit can launch until the returned release runs:
+// the caller owns the position between two group commits in this
+// engine's commit order — a commit ticket for work that is not a batch
+// (checkpoints' bulk reads, cross-shard envelope slices). Concurrent
+// reservers must serialize externally (shard.pauseMu); the pipeline's
+// paused flag backstops that. Exclusivity survives live limit changes
+// — it is a flag on the pipeline, not a count of slots.
 func (b *batcher) reservePipeline() func() {
-	n := cap(b.inflight)
-	for i := 0; i < n; i++ {
-		b.inflight <- struct{}{}
-	}
-	return func() {
-		for i := 0; i < n; i++ {
-			<-b.inflight
-		}
-	}
+	return b.pl.reserveAll()
 }
 
 // batchStats is the batcher's contribution to ServerStats.

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"time"
+)
+
+// The adaptive controller closes the loop the paper leaves to the
+// operator: how much commit pipelining a shard can sustain depends on
+// the workload's conflict profile (read-heavy traffic under SharedReads
+// pipelines freely; overlapping write-heavy batches livelock — the
+// PR 2 cliff that forces the conservative static MaxInflight=1). Each
+// tick it observes every shard's conflict-abort rate and batch
+// occupancy over the last interval and walks that shard's
+// MaxInflight/BatchFanout:
+//
+//   - MaxInflight moves by AIMD with hysteresis: a spike past abortHi
+//     halves it (multiplicative decrease, backing off the cliff) and
+//     remembers a ceiling one below where the cliff bit; calm ticks
+//     below abortLo raise it by one toward min(ceiling, ctrlInflightCap).
+//     Rates between the two thresholds hold — the hysteresis band that
+//     keeps borderline workloads from flapping. After ctrlProbeTicks
+//     calm ticks parked AT the ceiling the controller raises the
+//     ceiling once to re-probe — workloads shift (the phase-changing
+//     benchmark), and a cliff learned during a write burst should not
+//     cap a later read phase forever.
+//   - BatchFanout walks one step per tick toward mean batch occupancy /
+//     minRequestsPerBlock: fanning wider than one block per
+//     minRequestsPerBlock requests only buys dispatch overhead, and
+//     narrower leaves workers idle.
+//
+// WAL and Serial shards never leave MaxInflight 1 (D20); fanout still
+// adapts there. The controller runs whenever the server does, but only
+// acts while RuntimeConfig.Adaptive is on; a PUT /config that changes
+// MaxInflight/BatchFanout is adopted as the new starting point.
+
+const (
+	ctrlTick        = 100 * time.Millisecond
+	ctrlAbortHi     = 0.10 // multiplicative decrease above this conflict-abort rate
+	ctrlAbortLo     = 0.02 // additive increase below this
+	ctrlCooldown    = 5    // hold ticks after a decrease (let the pipeline drain)
+	ctrlProbeTicks  = 20   // calm ticks at the ceiling before re-probing (~2s)
+	ctrlInflightCap = 8    // hard upper bound on walked MaxInflight
+	ctrlMinObsTx    = 16   // ignore ticks with fewer started txs (noise)
+)
+
+// ctrlObs is one tick's observation of one shard.
+type ctrlObs struct {
+	abortRate float64 // conflict aborts / txs begun over the tick
+	txs       uint64  // txs begun over the tick
+	meanBatch float64 // mean batch occupancy over the tick
+	batches   uint64  // group commits over the tick
+}
+
+// shardCtrl is the controller's per-shard state. step is pure over
+// (state, observation) — the unit tests drive it with synthetic traces.
+type shardCtrl struct {
+	inflight int
+	fanout   int
+	ceiling  int // learned MaxInflight ceiling (cliff - 1 after a decrease)
+	cooldown int // ticks left to hold after a decrease
+	atCeil   int // consecutive calm ticks parked at the ceiling
+
+	// Bounds: inflightCap is 1 on WAL/Serial shards, ctrlInflightCap
+	// otherwise; fanoutCap is the worker count.
+	inflightCap int
+	fanoutCap   int
+}
+
+func newShardCtrl(inflight, fanout, inflightCap, fanoutCap int) *shardCtrl {
+	if inflightCap < 1 {
+		inflightCap = 1
+	}
+	if fanoutCap < 1 {
+		fanoutCap = 1
+	}
+	return &shardCtrl{
+		inflight:    clampInt(inflight, 1, inflightCap),
+		fanout:      clampInt(fanout, 1, fanoutCap),
+		ceiling:     inflightCap,
+		inflightCap: inflightCap,
+		fanoutCap:   fanoutCap,
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// step advances the controller one tick and returns the signed change
+// applied to each knob (for the steps-total metrics: nonzero means the
+// knob moved).
+func (c *shardCtrl) step(o ctrlObs) (dInflight, dFanout int) {
+	if o.batches == 0 {
+		return 0, 0 // idle shard: nothing observed, nothing to adapt
+	}
+
+	// Fanout: one step toward the occupancy-derived target.
+	target := clampInt(int(o.meanBatch/minRequestsPerBlock+0.5), 1, c.fanoutCap)
+	switch {
+	case c.fanout < target:
+		c.fanout++
+		dFanout = 1
+	case c.fanout > target:
+		c.fanout--
+		dFanout = -1
+	}
+
+	// Inflight: AIMD with hysteresis.
+	if c.inflightCap == 1 {
+		c.inflight = 1
+		return dInflight, dFanout
+	}
+	if o.txs < ctrlMinObsTx {
+		return dInflight, dFanout // too few transactions to trust the rate
+	}
+	if c.cooldown > 0 {
+		c.cooldown--
+		return dInflight, dFanout
+	}
+	switch {
+	case o.abortRate > ctrlAbortHi:
+		next := c.inflight / 2
+		if next < 1 {
+			next = 1
+		}
+		if next < c.inflight {
+			c.ceiling = clampInt(c.inflight-1, 1, c.inflightCap)
+			dInflight = next - c.inflight
+			c.inflight = next
+			c.cooldown = ctrlCooldown
+		}
+		c.atCeil = 0
+	case o.abortRate < ctrlAbortLo:
+		limit := c.ceiling
+		if limit > c.inflightCap {
+			limit = c.inflightCap
+		}
+		if c.inflight < limit {
+			c.inflight++
+			dInflight = 1
+			c.atCeil = 0
+		} else if c.inflight == limit && c.ceiling < c.inflightCap {
+			c.atCeil++
+			if c.atCeil >= ctrlProbeTicks {
+				c.ceiling++ // re-probe: next calm tick climbs into it
+				c.atCeil = 0
+			}
+		}
+	default:
+		// Hysteresis band: hold.
+	}
+	return dInflight, dFanout
+}
+
+// stopController stops the controller goroutine (idempotent via the
+// Close/Kill CAS — both call it exactly once).
+func (s *Server) stopController() {
+	if s.ctrlStop != nil {
+		close(s.ctrlStop)
+		<-s.ctrlDone
+	}
+}
+
+// controllerLoop ticks the per-shard controllers. It always runs (the
+// tick is a few atomic loads per shard) but only acts while
+// RuntimeConfig.Adaptive is on, so PUT /config can toggle adaptivity
+// without goroutine churn.
+func (s *Server) controllerLoop() {
+	defer close(s.ctrlDone)
+
+	type shardPrev struct {
+		txsBegun uint64
+		aborted  uint64
+		batches  uint64
+		sizeSum  uint64
+	}
+	ctrls := make([]*shardCtrl, len(s.shards))
+	prev := make([]shardPrev, len(s.shards))
+	for i, sh := range s.shards {
+		inflightCap := ctrlInflightCap
+		if sh.wal != nil || s.cfg.Serial {
+			inflightCap = 1 // D20: the log needs root-commit order
+		}
+		ctrls[i] = newShardCtrl(sh.b.pl.getLimit(), int(sh.b.knobs.fanout.Load()),
+			inflightCap, s.cfg.Workers)
+		rt := sh.rt.Stats()
+		batches, _, mean, _ := sh.b.stats()
+		prev[i] = shardPrev{txsBegun: rt.Begun, aborted: rt.Aborted,
+			batches: batches, sizeSum: uint64(mean * float64(batches))}
+	}
+
+	t := time.NewTicker(ctrlTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctrlStop:
+			return
+		case <-t.C:
+		}
+		active := s.rc.adaptiveOn()
+		for i, sh := range s.shards {
+			c := ctrls[i]
+
+			// Adopt operator overrides: a PUT /config that moved a knob
+			// while we slept becomes the new starting point, with the
+			// learned ceiling cleared (the operator knows something we
+			// don't).
+			if eff := sh.b.pl.getLimit(); eff != c.inflight {
+				c.inflight = clampInt(eff, 1, c.inflightCap)
+				c.ceiling = c.inflightCap
+				c.cooldown, c.atCeil = 0, 0
+			}
+			if eff := int(sh.b.knobs.fanout.Load()); eff != c.fanout {
+				c.fanout = clampInt(eff, 1, c.fanoutCap)
+			}
+
+			rt := sh.rt.Stats()
+			batches, _, mean, _ := sh.b.stats()
+			sizeSum := uint64(mean * float64(batches))
+			o := ctrlObs{
+				txs:     rt.Begun - prev[i].txsBegun,
+				batches: batches - prev[i].batches,
+			}
+			if o.txs > 0 {
+				o.abortRate = float64(rt.Aborted-prev[i].aborted) / float64(o.txs)
+			}
+			if o.batches > 0 {
+				o.meanBatch = float64(sizeSum-prev[i].sizeSum) / float64(o.batches)
+			}
+			prev[i] = shardPrev{txsBegun: rt.Begun, aborted: rt.Aborted,
+				batches: batches, sizeSum: sizeSum}
+
+			if !active {
+				continue
+			}
+			dIn, dFan := c.step(o)
+			if dIn != 0 {
+				sh.b.pl.setLimit(c.inflight)
+			}
+			if dFan != 0 {
+				sh.b.knobs.fanout.Store(int32(c.fanout))
+			}
+			if dIn > 0 || dFan > 0 {
+				s.obs.ctrlUp[i].Inc()
+			}
+			if dIn < 0 || dFan < 0 {
+				s.obs.ctrlDn[i].Inc()
+			}
+		}
+	}
+}

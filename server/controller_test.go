@@ -1,0 +1,147 @@
+package server
+
+import (
+	"testing"
+)
+
+// cliffTrace builds the observation a shard under a write-hot workload
+// produces: calm below the livelock cliff, violent above it.
+func cliffTrace(cliff int) func(inflight int) ctrlObs {
+	return func(inflight int) ctrlObs {
+		rate := 0.005
+		if inflight > cliff {
+			rate = 0.30
+		}
+		return ctrlObs{abortRate: rate, txs: 1000, meanBatch: 64, batches: 10}
+	}
+}
+
+// TestControllerConvergesToCliff drives the AIMD policy against a
+// synthetic abort-rate cliff and proves it converges to the cliff and
+// never oscillates past the hysteresis/ceiling bounds.
+func TestControllerConvergesToCliff(t *testing.T) {
+	const cliff = 3
+	c := newShardCtrl(1, 8, 8, 8)
+	obs := cliffTrace(cliff)
+
+	var atOrBelow, ticks int
+	decreaseTicks := []int{}
+	for i := 0; i < 400; i++ {
+		before := c.inflight
+		c.step(obs(c.inflight))
+		ticks++
+		if c.inflight < before {
+			decreaseTicks = append(decreaseTicks, i)
+		}
+		// The cliff is at 3: the walk may stand on 4 for exactly the tick
+		// that discovers the cliff (or a re-probe), but a step must never
+		// jump past it.
+		if c.inflight > cliff+1 {
+			t.Fatalf("tick %d: inflight %d exceeded cliff+1", i, c.inflight)
+		}
+		if i >= 100 && c.inflight <= cliff {
+			atOrBelow++
+		}
+	}
+	if c.inflight < cliff-1 || c.inflight > cliff {
+		t.Fatalf("did not converge: final inflight %d, cliff %d", c.inflight, cliff)
+	}
+	// After the transient, the controller must sit at/below the cliff for
+	// the overwhelming majority of ticks (re-probe excursions are single
+	// ticks every ctrlProbeTicks).
+	if frac := float64(atOrBelow) / float64(ticks-100); frac < 0.9 {
+		t.Fatalf("spent only %.0f%% of steady-state ticks at/below the cliff", frac*100)
+	}
+	// Hysteresis: consecutive decreases must be separated by at least the
+	// cooldown (no halving spiral).
+	for i := 1; i < len(decreaseTicks); i++ {
+		if d := decreaseTicks[i] - decreaseTicks[i-1]; d <= ctrlCooldown {
+			t.Fatalf("decreases %d ticks apart, want > cooldown %d", d, ctrlCooldown)
+		}
+	}
+}
+
+// TestControllerHysteresisBandHolds: a rate between the thresholds
+// changes nothing, however long it persists.
+func TestControllerHysteresisBandHolds(t *testing.T) {
+	c := newShardCtrl(4, 4, 8, 8)
+	for i := 0; i < 100; i++ {
+		dIn, _ := c.step(ctrlObs{abortRate: 0.05, txs: 1000, meanBatch: 32, batches: 10})
+		if dIn != 0 {
+			t.Fatalf("tick %d: inflight moved (d=%d) inside the hysteresis band", i, dIn)
+		}
+	}
+	if c.inflight != 4 {
+		t.Fatalf("inflight drifted to %d", c.inflight)
+	}
+}
+
+// TestControllerWALClampHolds: a WAL shard (cap 1) never pipelines, no
+// matter how calm the trace looks.
+func TestControllerWALClampHolds(t *testing.T) {
+	c := newShardCtrl(1, 4, 1, 8)
+	for i := 0; i < 200; i++ {
+		c.step(ctrlObs{abortRate: 0.0, txs: 1000, meanBatch: 64, batches: 10})
+		if c.inflight != 1 {
+			t.Fatalf("tick %d: WAL-clamped shard walked to inflight %d", i, c.inflight)
+		}
+	}
+}
+
+// TestControllerReprobesAfterPhaseShift: a cliff learned in a write
+// phase must not cap a later read phase forever — the periodic re-probe
+// climbs back out.
+func TestControllerReprobesAfterPhaseShift(t *testing.T) {
+	c := newShardCtrl(1, 8, 8, 8)
+	writeHot := cliffTrace(2)
+	// Phase 1: learn the write-phase cliff at 2.
+	for i := 0; i < 100; i++ {
+		c.step(writeHot(c.inflight))
+	}
+	if c.inflight > 2 {
+		t.Fatalf("phase 1 did not converge below the cliff: inflight %d", c.inflight)
+	}
+	// Phase 2: the workload turns read-heavy (no cliff at all). The
+	// re-probe must eventually walk back to the cap.
+	calm := ctrlObs{abortRate: 0.0, txs: 1000, meanBatch: 64, batches: 10}
+	for i := 0; i < 400; i++ {
+		c.step(calm)
+	}
+	if c.inflight != c.inflightCap {
+		t.Fatalf("never re-probed after the phase shift: inflight %d, cap %d", c.inflight, c.inflightCap)
+	}
+}
+
+// TestControllerFanoutTracksOccupancy: fanout walks toward mean batch
+// occupancy / minRequestsPerBlock in both directions.
+func TestControllerFanoutTracksOccupancy(t *testing.T) {
+	c := newShardCtrl(1, 1, 1, 8)
+	for i := 0; i < 20; i++ {
+		c.step(ctrlObs{abortRate: 0, txs: 1000, meanBatch: 64, batches: 10})
+	}
+	if c.fanout != 8 {
+		t.Fatalf("fanout did not walk up to occupancy target: got %d, want 8", c.fanout)
+	}
+	for i := 0; i < 20; i++ {
+		c.step(ctrlObs{abortRate: 0, txs: 1000, meanBatch: 8, batches: 10})
+	}
+	if c.fanout != 1 {
+		t.Fatalf("fanout did not walk down with occupancy: got %d, want 1", c.fanout)
+	}
+	// Idle ticks hold everything.
+	before := c.fanout
+	c.step(ctrlObs{})
+	if c.fanout != before {
+		t.Fatal("idle tick moved fanout")
+	}
+}
+
+// TestControllerIgnoresNoiseTicks: a tick with almost no transactions
+// must not trigger a decrease, whatever its measured rate.
+func TestControllerIgnoresNoiseTicks(t *testing.T) {
+	c := newShardCtrl(4, 4, 8, 8)
+	c.step(ctrlObs{abortRate: 1.0, txs: ctrlMinObsTx - 1, meanBatch: 32, batches: 2})
+	if c.inflight != 4 {
+		t.Fatalf("noise tick moved inflight to %d", c.inflight)
+	}
+}

@@ -697,14 +697,35 @@ func (s *Server) Export() (*stmlib.RegistryImage, []uint64, error) {
 	return img, watermarks, nil
 }
 
-// checkpointLoop runs Checkpoint on the configured cadence until Close.
-func (s *Server) checkpointLoop(every time.Duration) {
+// checkpointLoop runs Checkpoint on the LIVE cadence (RuntimeConfig's
+// SnapshotEvery, a PUT /config knob) until Close. The ticker fires on a
+// short base period and the loop decides whether the cadence has
+// elapsed — so lowering the cadence, raising it, or turning
+// checkpoints off entirely (cadence 0) takes effect within a second,
+// without restarting the loop.
+func (s *Server) checkpointLoop() {
 	defer close(s.ckDone)
-	t := time.NewTicker(every)
+	// Poll at the cadence itself when it is short, at 1s otherwise — a
+	// sub-second SnapshotEvery (tests) keeps its precision, and a
+	// disabled or long cadence costs one wakeup per second.
+	period := func() time.Duration {
+		if every := s.rc.snapshotCadence(); every > 0 && every < time.Second {
+			return every
+		}
+		return time.Second
+	}
+	t := time.NewTimer(period())
 	defer t.Stop()
+	last := time.Now()
 	for {
 		select {
 		case <-t.C:
+			t.Reset(period())
+			every := s.rc.snapshotCadence()
+			if every <= 0 || time.Since(last) < every {
+				continue
+			}
+			last = time.Now()
 			if err := s.Checkpoint(); err != nil {
 				// A failed checkpoint costs only replay time; the WAL still
 				// holds everything. Keep serving.

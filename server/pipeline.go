@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnstm/internal/metrics"
+)
+
+// shardKnobs is one shard's live-mutable batching configuration. The
+// batcher re-reads each knob at batch boundaries (collect for
+// maxBatch/delay, execute for fanout), so a PUT /config or a controller
+// step takes effect on the next batch without a restart — no lock on
+// the hot path, just an atomic load per batch.
+type shardKnobs struct {
+	maxBatch atomic.Int32
+	fanout   atomic.Int32
+	delay    atomic.Int64 // nanoseconds
+}
+
+func newShardKnobs(maxBatch, fanout int, delay time.Duration) *shardKnobs {
+	k := &shardKnobs{}
+	k.maxBatch.Store(int32(maxBatch))
+	k.fanout.Store(int32(fanout))
+	k.delay.Store(int64(delay))
+	return k
+}
+
+// pipeline bounds concurrent group commits per shard. It replaces the
+// fixed buffered-channel semaphore so the limit can change while
+// acquisitions are in flight (PUT /config, the adaptive controller):
+// raising the limit wakes waiters immediately, lowering it lets excess
+// in-flight batches drain without being interrupted.
+type pipeline struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active int
+	limit  int
+	paused bool
+}
+
+func newPipeline(limit int) *pipeline {
+	if limit < 1 {
+		limit = 1
+	}
+	p := &pipeline{limit: limit}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// acquire blocks until a slot is free and the pipeline is not reserved.
+func (p *pipeline) acquire() {
+	p.mu.Lock()
+	for p.paused || p.active >= p.limit {
+		p.cond.Wait()
+	}
+	p.active++
+	p.mu.Unlock()
+}
+
+// release frees a slot taken by acquire.
+func (p *pipeline) release() {
+	p.mu.Lock()
+	p.active--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// reserveAll takes exclusive ownership of the whole pipeline: it waits
+// out every in-flight batch and blocks new ones until the returned
+// release runs. This is the commit-ticket reservation checkpoints,
+// Export and cross-shard coordinators use (see reservePipeline);
+// concurrent reservers additionally serialize on shard.pauseMu, and
+// the paused flag makes that safe even against a reserver that skipped
+// the mutex. Unlike the old fill-every-slot scheme, a concurrent limit
+// change cannot leak or strand slots — exclusivity is a flag, not a
+// count.
+func (p *pipeline) reserveAll() func() {
+	p.mu.Lock()
+	for p.paused {
+		p.cond.Wait()
+	}
+	p.paused = true
+	for p.active > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		p.paused = false
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// setLimit changes the concurrency bound. n < 1 clamps to 1.
+func (p *pipeline) setLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	p.limit = n
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// getLimit reports the current bound.
+func (p *pipeline) getLimit() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.limit
+}
+
+// batchObs is the batcher's instrumentation hooks; a nil *batchObs
+// disables them (batchers built directly in tests).
+type batchObs struct {
+	size     *metrics.Histogram // batch occupancy (requests per group commit)
+	form     *metrics.Histogram // µs from first request to batch launch
+	rejected *metrics.Counter   // StatusRejected responses (guard failures)
+}
+
+func (o *batchObs) observeBatch(size int, formed time.Duration) {
+	if o == nil {
+		return
+	}
+	o.size.Observe(float64(size))
+	o.form.ObserveDuration(formed)
+}
+
+func (o *batchObs) observeRejected() {
+	if o != nil {
+		o.rejected.Inc()
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// readyzCode drives handleReadyz directly — deterministic, no listener.
+func readyzCode(t *testing.T, s *Server) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.handleReadyz(rec, httptest.NewRequest("GET", "/readyz", nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+// TestReadyzFlipsOnShutdown: /readyz answers 503 the instant shutdown
+// begins — the closed flag is set before any draining starts.
+func TestReadyzFlipsOnShutdown(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := readyzCode(t, s); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("fresh server readyz = %d %q", code, body)
+	}
+	// Flip the flag exactly as Close's CAS does, probe, then restore so
+	// the real Close still runs its teardown.
+	s.closed.Store(true)
+	if code, body := readyzCode(t, s); code != 503 || !strings.Contains(body, "shutting down") {
+		t.Fatalf("closed server readyz = %d %q", code, body)
+	}
+	s.closed.Store(false)
+	s.Close()
+	if code, _ := readyzCode(t, s); code != 503 {
+		t.Fatal("readyz not 503 after Close")
+	}
+}
+
+// TestReadyzFlipsOnWALLatch: a latched WAL (unrecoverable I/O error)
+// makes the shard unable to accept writes — readiness must say so.
+func TestReadyzFlipsOnWALLatch(t *testing.T) {
+	s, err := New(Config{DataDir: t.TempDir(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+	if code, _ := readyzCode(t, s); code != 200 {
+		t.Fatal("durable server not ready at boot")
+	}
+	s.shards[1].wal.Fail(errors.New("disk on fire"))
+	code, body := readyzCode(t, s)
+	if code != 503 || !strings.Contains(body, "shard 1") || !strings.Contains(body, "latched") {
+		t.Fatalf("latched-WAL readyz = %d %q", code, body)
+	}
+}

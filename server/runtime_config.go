@@ -1,0 +1,215 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RuntimeConfig is the server's live-mutable configuration: the base
+// values of the batching knobs every shard re-reads at batch
+// boundaries. PUT /config validates against the server's immutable
+// constraints (Serial and a WAL both clamp MaxInflight to 1, D20) and
+// pushes the new values to every shard immediately; when the adaptive
+// controller is on it keeps walking per-shard MaxInflight/BatchFanout
+// from whatever base the operator last set.
+type RuntimeConfig struct {
+	mu            sync.RWMutex
+	maxBatch      int
+	batchDelay    time.Duration
+	batchFanout   int
+	maxInflight   int
+	snapshotEvery time.Duration
+	adaptive      bool
+
+	// Immutable constraints captured at boot.
+	durable bool // DataDir set: the WAL needs root-commit order, inflight = 1
+	serial  bool // serial runtime forbids concurrent Run
+	workers int
+	shards  int
+}
+
+func newRuntimeConfig(cfg Config) *RuntimeConfig {
+	return &RuntimeConfig{
+		maxBatch:      cfg.MaxBatch,
+		batchDelay:    cfg.BatchDelay,
+		batchFanout:   cfg.BatchFanout,
+		maxInflight:   cfg.MaxInflight,
+		snapshotEvery: cfg.SnapshotEvery,
+		adaptive:      cfg.Adaptive,
+		durable:       cfg.DataDir != "",
+		serial:        cfg.Serial,
+		workers:       cfg.Workers,
+		shards:        cfg.Shards,
+	}
+}
+
+// ConfigUpdate is the PUT /config body: pointer fields, so absent keys
+// leave their knob untouched (partial update).
+type ConfigUpdate struct {
+	MaxBatch        *int     `json:"max_batch,omitempty"`
+	BatchDelayMs    *float64 `json:"batch_delay_ms,omitempty"`
+	BatchFanout     *int     `json:"batch_fanout,omitempty"`
+	MaxInflight     *int     `json:"max_inflight,omitempty"`
+	SnapshotEveryMs *float64 `json:"snapshot_every_ms,omitempty"`
+	Adaptive        *bool    `json:"adaptive,omitempty"`
+}
+
+// ShardConfigView is one shard's EFFECTIVE knob values — what its
+// batcher is using right now, which diverges from the base when the
+// adaptive controller is walking it.
+type ShardConfigView struct {
+	Shard       int `json:"shard"`
+	MaxInflight int `json:"max_inflight"`
+	BatchFanout int `json:"batch_fanout"`
+}
+
+// ConfigView is the GET /config payload (and PUT's success response):
+// the base values plus each shard's effective ones.
+type ConfigView struct {
+	MaxBatch        int               `json:"max_batch"`
+	BatchDelayMs    float64           `json:"batch_delay_ms"`
+	BatchFanout     int               `json:"batch_fanout"`
+	MaxInflight     int               `json:"max_inflight"`
+	SnapshotEveryMs float64           `json:"snapshot_every_ms"`
+	Adaptive        bool              `json:"adaptive"`
+	Durable         bool              `json:"durable"`
+	Serial          bool              `json:"serial"`
+	PerShard        []ShardConfigView `json:"per_shard,omitempty"`
+}
+
+// maxBatchLimit bounds PUT max_batch: far beyond useful group sizes,
+// small enough that a typo cannot make collect loop unboundedly.
+const maxBatchLimit = 1 << 16
+
+// validate checks an update against the current state without applying
+// it. Every violation is reported (the PUT fails atomically: either all
+// fields apply or none).
+func (rc *RuntimeConfig) validate(u *ConfigUpdate) error {
+	if u.MaxBatch != nil && (*u.MaxBatch < 1 || *u.MaxBatch > maxBatchLimit) {
+		return fmt.Errorf("max_batch must be in [1, %d], got %d", maxBatchLimit, *u.MaxBatch)
+	}
+	if u.BatchDelayMs != nil && *u.BatchDelayMs < 0 {
+		return fmt.Errorf("batch_delay_ms must be >= 0, got %g", *u.BatchDelayMs)
+	}
+	if u.BatchFanout != nil && *u.BatchFanout < 1 {
+		return fmt.Errorf("batch_fanout must be >= 1, got %d", *u.BatchFanout)
+	}
+	if u.MaxInflight != nil {
+		n := *u.MaxInflight
+		if n < 1 {
+			return fmt.Errorf("max_inflight must be >= 1, got %d", n)
+		}
+		if n > 1 && rc.durable {
+			return fmt.Errorf("max_inflight > 1 is invalid with a WAL: each shard's log records batches in root-commit order (D20)")
+		}
+		if n > 1 && rc.serial {
+			return fmt.Errorf("max_inflight > 1 is invalid in serial mode: the serial runtime forbids concurrent Run")
+		}
+	}
+	if u.SnapshotEveryMs != nil && *u.SnapshotEveryMs < 0 {
+		return fmt.Errorf("snapshot_every_ms must be >= 0 (0 disables automatic checkpoints), got %g", *u.SnapshotEveryMs)
+	}
+	return nil
+}
+
+// apply validates u and merges it into the base config, returning the
+// new base values. The caller (Server.ApplyConfig) pushes them to the
+// shards.
+func (rc *RuntimeConfig) apply(u *ConfigUpdate) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if err := rc.validate(u); err != nil {
+		return err
+	}
+	if u.MaxBatch != nil {
+		rc.maxBatch = *u.MaxBatch
+	}
+	if u.BatchDelayMs != nil {
+		rc.batchDelay = time.Duration(*u.BatchDelayMs * float64(time.Millisecond))
+	}
+	if u.BatchFanout != nil {
+		rc.batchFanout = *u.BatchFanout
+	}
+	if u.MaxInflight != nil {
+		rc.maxInflight = *u.MaxInflight
+	}
+	if u.SnapshotEveryMs != nil {
+		rc.snapshotEvery = time.Duration(*u.SnapshotEveryMs * float64(time.Millisecond))
+	}
+	if u.Adaptive != nil {
+		rc.adaptive = *u.Adaptive
+	}
+	return nil
+}
+
+// base returns the current base knob values.
+func (rc *RuntimeConfig) base() (maxBatch int, delay time.Duration, fanout, inflight int) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return rc.maxBatch, rc.batchDelay, rc.batchFanout, rc.maxInflight
+}
+
+// snapshotCadence returns the live checkpoint cadence (0: disabled).
+func (rc *RuntimeConfig) snapshotCadence() time.Duration {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return rc.snapshotEvery
+}
+
+// adaptiveOn reports whether the controller may walk the knobs.
+func (rc *RuntimeConfig) adaptiveOn() bool {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return rc.adaptive
+}
+
+// view renders the base values (per-shard effective values are filled
+// in by the server, which owns the shards).
+func (rc *RuntimeConfig) view() ConfigView {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return ConfigView{
+		MaxBatch:        rc.maxBatch,
+		BatchDelayMs:    float64(rc.batchDelay) / float64(time.Millisecond),
+		BatchFanout:     rc.batchFanout,
+		MaxInflight:     rc.maxInflight,
+		SnapshotEveryMs: float64(rc.snapshotEvery) / float64(time.Millisecond),
+		Adaptive:        rc.adaptive,
+		Durable:         rc.durable,
+		Serial:          rc.serial,
+	}
+}
+
+// ApplyConfig validates and applies a live configuration update: the
+// base values change atomically, then every shard's knobs are pushed so
+// the next batch boundary picks them up. With the adaptive controller
+// on, MaxInflight/BatchFanout become its new starting point — it keeps
+// walking from there.
+func (s *Server) ApplyConfig(u *ConfigUpdate) (ConfigView, error) {
+	if err := s.rc.apply(u); err != nil {
+		return ConfigView{}, err
+	}
+	maxBatch, delay, fanout, inflight := s.rc.base()
+	for _, sh := range s.shards {
+		sh.b.knobs.maxBatch.Store(int32(maxBatch))
+		sh.b.knobs.delay.Store(int64(delay))
+		sh.b.knobs.fanout.Store(int32(fanout))
+		sh.b.pl.setLimit(inflight)
+	}
+	return s.ConfigSnapshot(), nil
+}
+
+// ConfigSnapshot renders the current configuration: base values plus
+// each shard's effective MaxInflight/BatchFanout.
+func (s *Server) ConfigSnapshot() ConfigView {
+	v := s.rc.view()
+	for _, sh := range s.shards {
+		v.PerShard = append(v.PerShard, ShardConfigView{
+			Shard:       sh.id,
+			MaxInflight: sh.b.pl.getLimit(),
+			BatchFanout: int(sh.b.knobs.fanout.Load()),
+		})
+	}
+	return v
+}

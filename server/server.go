@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -118,6 +119,19 @@ type Config struct {
 	// WALSegmentBytes is the WAL's segment-rotation threshold (zero:
 	// the wal package default, 64 MiB). Ignored without DataDir.
 	WALSegmentBytes int64
+
+	// AdminAddr, when set, binds a second HTTP listener serving the
+	// operational plane: GET /metrics (Prometheus text), GET /healthz
+	// (liveness), GET /readyz (readiness: 503 once shutdown begins or a
+	// WAL latches), and GET/PUT /config (live retuning of the batching
+	// knobs). Empty: no admin listener.
+	AdminAddr string
+
+	// Adaptive starts the controller that walks each shard's
+	// MaxInflight/BatchFanout from observed abort rate and batch
+	// occupancy (AIMD with hysteresis; WAL and Serial shards stay
+	// clamped to 1 inflight). Togglable at runtime via PUT /config.
+	Adaptive bool
 }
 
 func (c *Config) fillDefaults() {
@@ -171,6 +185,12 @@ type ServerStats struct {
 	LargestBatch  uint64      `json:"largest_batch"`
 	Runtime       pnstm.Stats `json:"runtime"`
 	RuntimeAborts float64     `json:"runtime_abort_ratio"`
+
+	// Latency is the per-op-class latency summary (point ops, tx
+	// envelopes, cross-shard commits): counts plus p50/p95/p99 in
+	// microseconds, estimated from the same fixed-bucket histograms
+	// /metrics exports. Classes with no observations are omitted.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
 
 	// PerShard is the per-partition breakdown (one entry per shard,
 	// indexed by shard id).
@@ -239,6 +259,17 @@ type Server struct {
 	// server fails fast with a retryable error.
 	crossSem chan struct{}
 
+	// obs/rc are the observability and live-config planes; ctrlStop/
+	// ctrlDone fence the adaptive controller goroutine.
+	obs      *serverObs
+	rc       *RuntimeConfig
+	ctrlStop chan struct{}
+	ctrlDone chan struct{}
+
+	adminLn      net.Listener
+	adminSrv     *http.Server
+	adminServing atomic.Bool
+
 	ln     net.Listener
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -258,6 +289,8 @@ func New(cfg Config) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 		crossSem: make(chan struct{}, maxCrossInflight),
 	}
+	s.rc = newRuntimeConfig(cfg)
+	s.obs = newServerObs(s, cfg)
 	teardown := func() {
 		for _, sh := range s.shards {
 			if sh.wal != nil {
@@ -284,14 +317,22 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		sh.b = newBatcher(sh.rt, sh.reg, sh.wal, cfg.MaxBatch, cfg.BatchFanout, cfg.MaxInflight, cfg.BatchDelay)
+		sh.b.obs = s.obs.batch[i]
 	}
-	if cfg.DataDir != "" && cfg.SnapshotEvery > 0 {
+	// The checkpointer runs whenever there is a data directory — its
+	// cadence (SnapshotEvery) is a live knob now, so even a server booted
+	// with cadence 0 must have the loop ready for a PUT /config that
+	// turns checkpoints on.
+	if cfg.DataDir != "" {
 		s.ckStop = make(chan struct{})
 		s.ckDone = make(chan struct{})
-		go s.checkpointLoop(cfg.SnapshotEvery)
+		go s.checkpointLoop()
 	}
+	s.ctrlStop = make(chan struct{})
+	s.ctrlDone = make(chan struct{})
+	go s.controllerLoop()
 	return s, nil
 }
 
@@ -378,6 +419,7 @@ func (s *Server) openDurability() error {
 				Fsync:        s.cfg.Fsync,
 				SegmentBytes: s.cfg.WALSegmentBytes,
 				SyncDelay:    s.cfg.WALSyncDelay,
+				ObserveSync:  s.obs.fsync[i].ObserveDuration,
 			})
 			if err != nil {
 				errs[i] = err
@@ -500,11 +542,16 @@ func (s *Server) Registry() *stmlib.Registry { return s.shards[0].reg }
 // ShardCount reports how many engine partitions the server runs.
 func (s *Server) ShardCount() int { return len(s.shards) }
 
-// Listen binds the configured address. Addr() is valid afterwards, which
-// is how tests bind ":0" and discover the port before Serve.
+// Listen binds the configured address (and the admin address, when
+// configured). Addr()/AdminAddr() are valid afterwards, which is how
+// tests bind ":0" and discover the ports before Serve.
 func (s *Server) Listen() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
+		return err
+	}
+	if err := s.listenAdmin(); err != nil {
+		ln.Close()
 		return err
 	}
 	s.ln = ln
@@ -524,6 +571,7 @@ func (s *Server) Serve() error {
 	if s.ln == nil {
 		return fmt.Errorf("server: Serve before Listen")
 	}
+	s.serveAdmin()
 	for {
 		nc, err := s.ln.Accept()
 		if err != nil {
@@ -563,9 +611,13 @@ func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// closed is set: /readyz answers 503 from here on, while the admin
+	// plane itself keeps serving (scrapes and health probes work through
+	// the drain) and is torn down last.
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	s.stopController()
 	if s.ckStop != nil {
 		close(s.ckStop)
 		<-s.ckDone
@@ -620,6 +672,11 @@ func (s *Server) Close() {
 	for _, sh := range s.shards {
 		sh.rt.Close()
 	}
+	// Drain the admin plane last: every scrape or /readyz probe that
+	// arrived during the drain completes (no accepted-but-dropped
+	// requests), and a probe racing the final teardown sees a refused
+	// connection rather than a hang.
+	s.closeAdmin(true)
 }
 
 // Kill is the crash hook for recovery tests: it abandons every shard's
@@ -633,6 +690,8 @@ func (s *Server) Kill() {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	s.closeAdmin(false) // hard stop: a crash does not drain scrapes
+	s.stopController()
 	if s.ckStop != nil {
 		close(s.ckStop)
 		<-s.ckDone
@@ -704,6 +763,7 @@ func (s *Server) Stats() ServerStats {
 	}
 	return ServerStats{
 		WAL:           ws,
+		Latency:       s.obs.latencySummaries(),
 		Workers:       uint64(s.cfg.Workers),
 		Shards:        uint64(len(s.shards)),
 		MaxBatch:      uint64(s.cfg.MaxBatch),
@@ -972,6 +1032,16 @@ func (s *Server) handleConn(nc net.Conn) {
 		case <-writerDone:
 		}
 	}
+	// timed wraps deliver for one request so its class histogram sees
+	// parse-to-delivery latency — batching delay, execution, fsync and
+	// response routing included.
+	timed := func(class string) func(Response) {
+		start := time.Now()
+		return func(resp Response) {
+			s.obs.observeLatency(class, start)
+			deliver(resp)
+		}
+	}
 
 	br := bufio.NewReader(nc)
 	for {
@@ -1004,13 +1074,14 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 			deliver(Response{ID: req.ID, Status: StatusOK, Value: blob})
 		case OpCounterSum:
+			done := timed(classPoint)
 			if len(s.shards) > 1 {
-				s.fanCounterSum(req, deliver)
+				s.fanCounterSum(req, done)
 				continue
 			}
-			p := &pending{req: req, deliver: deliver}
+			p := &pending{req: req, deliver: done}
 			if !s.shards[0].b.submit(p) {
-				deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
+				done(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
 			}
 		case OpTx:
 			if len(req.Tx.Ops) == 0 {
@@ -1020,19 +1091,21 @@ func (s *Server) handleConn(nc net.Conn) {
 			plan := s.routeTx(req)
 			switch plan.kind {
 			case planFan:
-				s.fanTx(req, deliver)
+				s.fanTx(req, timed(classTx))
 			case planCross:
-				s.commitCrossShard(req, &plan, deliver)
+				s.commitCrossShard(req, &plan, timed(classCross))
 			default:
-				p := &pending{req: req, deliver: deliver}
+				done := timed(classTx)
+				p := &pending{req: req, deliver: done}
 				if !s.shards[plan.target].b.submit(p) {
-					deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
+					done(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
 				}
 			}
 		default:
-			p := &pending{req: req, deliver: deliver}
+			done := timed(classPoint)
+			p := &pending{req: req, deliver: done}
 			if !s.shardFor(req.Name).b.submit(p) {
-				deliver(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
+				done(Response{ID: req.ID, Status: StatusErr, Msg: "server closing"})
 			}
 		}
 	}
