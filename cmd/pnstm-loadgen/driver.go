@@ -3,7 +3,9 @@ package main
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,7 +17,7 @@ import (
 
 // genCfg parameterizes one load-generation run.
 type genCfg struct {
-	workload    string // readmap, queue, counter, checkout, mixed, txmix, crossshard, phases
+	workload    string // readmap, queue, counter, checkout, mixed, txmix, crossshard, phases, hotkey
 	concurrency int    // issuing goroutines
 	conns       int    // pooled client connections
 	duration    time.Duration
@@ -36,9 +38,9 @@ func (c *genCfg) runsCheckout() bool {
 
 func (c *genCfg) fillDefaults() error {
 	switch c.workload {
-	case "readmap", "queue", "counter", "checkout", "mixed", "txmix", "crossshard", "phases":
+	case "readmap", "queue", "counter", "checkout", "mixed", "txmix", "crossshard", "phases", "hotkey":
 	default:
-		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed, txmix, crossshard or phases)", c.workload)
+		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed, txmix, crossshard, phases or hotkey)", c.workload)
 	}
 	if c.concurrency <= 0 {
 		c.concurrency = 16
@@ -138,6 +140,11 @@ type driver struct {
 	// crossshard state: acctPartners[i] is the transfer partner of
 	// ledger map i, on a different shard whenever one exists.
 	acctPartners []int
+
+	// hotkey state: the zipfian CDF over the key-space, rank 0 hottest.
+	// Built once in setup and only read afterwards, so every issuing
+	// goroutine shares it without synchronization.
+	hotCDF []float64
 
 	// base snapshots the server state right after setup so verify()
 	// compares deltas: a long-lived pnstmd carries counters and queue
@@ -265,10 +272,20 @@ func acctPartnerOf(i, shards int) int {
 	return (i + 1) % acctMaps
 }
 
+// usesReadMap reports whether the workload touches the preloaded
+// bench:m map (and so needs it provisioned and its length verified).
+func (c *genCfg) usesReadMap() bool {
+	switch c.workload {
+	case "readmap", "mixed", "phases", "hotkey":
+		return true
+	}
+	return false
+}
+
 // setup provisions the structures the run reads from.
 func (d *driver) setup() error {
 	c := d.cfg
-	if c.workload == "readmap" || c.workload == "mixed" || c.workload == "phases" {
+	if c.usesReadMap() {
 		for i := 0; i < c.keys; i++ {
 			if err := d.cl.MapPut(mapName, keyName(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 				return fmt.Errorf("setup map: %w", err)
@@ -292,6 +309,9 @@ func (d *driver) setup() error {
 		// ask the server how many partitions it runs (1 when stats are
 		// unavailable — a sharded server always answers stats).
 		d.txPairs = pairTxQueues(c.txQueueNames(), d.serverShards())
+	}
+	if c.workload == "hotkey" {
+		d.hotCDF = zipfCDF(c.keys, hotKeyExponent)
 	}
 	if c.workload == "crossshard" {
 		shards := d.serverShards()
@@ -356,7 +376,7 @@ func (d *driver) snapshotBaselines() error {
 		}
 		*dst, err = f()
 	}
-	if c.workload == "readmap" || c.workload == "mixed" || c.workload == "phases" {
+	if c.usesReadMap() {
 		read(&d.base.mapLen, func() (int64, error) { return d.cl.MapLen(mapName) })
 	}
 	if c.workload == "queue" || c.workload == "mixed" {
@@ -429,8 +449,57 @@ func (d *driver) op(rng *rand.Rand) error {
 		return d.opAcctTransfer(rng)
 	case "phases":
 		return d.opPhases(rng)
+	case "hotkey":
+		return d.opHotKey(rng)
 	}
 	return fmt.Errorf("unreachable workload")
+}
+
+// hotKeyExponent shapes the hotkey workload's zipfian key popularity:
+// with 1.2 the rank-0 key draws roughly a fifth of all traffic on a
+// 1024-key space, so a handful of keys dominate the conflict aborts —
+// the distribution /debug/hotkeys exists to expose.
+const hotKeyExponent = 1.2
+
+// hotKeyWriteFrac is the hotkey workload's write fraction: write-heavy
+// on purpose, because only writes conflict and the profiler attributes
+// conflicts.
+const hotKeyWriteFrac = 0.8
+
+// zipfCDF precomputes the cumulative distribution of P(rank=i) ∝
+// 1/(i+1)^s over n ranks. Shared read-only across goroutines; each op
+// inverts it with a binary search on one uniform draw.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+// opHotKey issues zipfian-skewed traffic over the preloaded key-space:
+// mostly overwrites, some point reads. Batch siblings writing the same
+// hot key's bucket conflict and abort-retry — each abort lands in the
+// flight recorder attributed to `bench:m:k000000`-style tags, which is
+// exactly the signal the hot-key profiler ranks. Writes stay inside
+// the preloaded keys, so the readmap MapLen invariant holds.
+func (d *driver) opHotKey(rng *rand.Rand) error {
+	i := sort.SearchFloat64s(d.hotCDF, rng.Float64())
+	if i >= len(d.hotCDF) {
+		i = len(d.hotCDF) - 1
+	}
+	key := keyName(i)
+	if rng.Float64() >= hotKeyWriteFrac {
+		_, _, err := d.cl.MapGet(mapName, key)
+		return err
+	}
+	d.mapPuts.Add(1)
+	return d.cl.MapPut(mapName, key, []byte(fmt.Sprintf("v%d", rng.Int())))
 }
 
 // phasesHotKeys is the write-hot phase's key-space: small enough that
@@ -661,7 +730,7 @@ func (d *driver) verify() []string {
 	c := d.cfg
 	fail := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
 
-	if c.workload == "readmap" || c.workload == "mixed" || c.workload == "phases" {
+	if c.usesReadMap() {
 		n, err := d.cl.MapLen(mapName)
 		if err != nil {
 			fail("map len: %v", err)

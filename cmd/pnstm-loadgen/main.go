@@ -24,6 +24,10 @@
 //	phases    phase-shifting mix: read-heavy → write-hot on a tiny
 //	          key-space → mixed, one third of -duration each — the
 //	          workload the adaptive-controller A/B runs on
+//	hotkey    zipfian-skewed write-heavy point traffic: a handful of
+//	          keys draw most of the writes, so batch siblings conflict
+//	          on them constantly — the workload the conflict profiler
+//	          (/debug/hotkeys) is demonstrated on
 //
 // Usage:
 //
@@ -41,6 +45,9 @@
 //	pnstm-loadgen -compare -adaptive -workload phases -duration 9s -json .
 //	        # controller A/B: adaptive AIMD MaxInflight/BatchFanout vs
 //	        # the best pinned static config on the phase-shifting mix
+//	pnstm-loadgen -compare -trace-ab -workload mixed -json .
+//	        # tracing-overhead A/B: the same batched workload with the
+//	        # conflict X-ray off vs on, emitting tracing_overhead_ratio
 //	pnstm-loadgen -compare -shards 4 -syncdelay 2ms -min-shard-speedup 1.5
 //	        # shard-scaling A/B: 1-shard vs 4-shard durable server —
 //	        # parallel per-shard group-commit pipelines, fsyncs included
@@ -70,7 +77,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:7455", "pnstmd address")
-		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout, mixed, txmix or crossshard")
+		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout, mixed, txmix, crossshard, phases or hotkey")
 		concurrency = flag.Int("concurrency", 16, "issuing goroutines")
 		conns       = flag.Int("conns", 4, "pooled client connections")
 		duration    = flag.Duration("duration", 5*time.Second, "measurement window")
@@ -95,6 +102,8 @@ func main() {
 		minCmpSpdup  = flag.Float64("min-speedup", 0, "compare mode: fail unless batched throughput ≥ this multiple of the serial baseline (0: report only)")
 		adaptiveCmp  = flag.Bool("adaptive", false, "with -compare: controller A/B — adaptive AIMD tuning vs pinned static MaxInflight (run it on -workload phases)")
 		minAdaptive  = flag.Float64("min-adaptive-ratio", 0, "adaptive compare: fail unless adaptive throughput ≥ this multiple of the best static config (0: report only)")
+		traceCmp     = flag.Bool("trace-ab", false, "with -compare: conflict-tracing overhead A/B — the same batched workload with lifecycle tracing off vs on, emitting tracing_overhead_ratio")
+		maxTraceOvh  = flag.Float64("max-trace-overhead", 0, "trace A/B: fail if untraced/traced throughput exceeds this ratio (0: report only)")
 		killAfter    = flag.Duration("kill-after", 0, "crash-recovery drill: hard-kill an embedded durable server after this long under load, restart, verify invariants")
 		dataDir      = flag.String("data-dir", "", "crash mode: data directory to crash and recover on (empty: a temp dir)")
 		recoveryChk  = flag.Bool("recovery-check", false, "verify a restarted pnstmd at -addr holds the recovered-store invariants (conservation, no oversell)")
@@ -143,6 +152,17 @@ func main() {
 	if *adaptiveCmp && !*compare {
 		fmt.Fprintln(os.Stderr, "pnstm-loadgen: -adaptive requires -compare (the controller A/B runs embedded servers)")
 		os.Exit(2)
+	}
+	if *traceCmp && !*compare {
+		fmt.Fprintln(os.Stderr, "pnstm-loadgen: -trace-ab requires -compare (the tracing A/B runs embedded servers)")
+		os.Exit(2)
+	}
+	if *compare && *traceCmp {
+		if err := runTraceCompare(cfg, *workers, *compareBatch, *maxTraceOvh, *jsonDir, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *compare && *adaptiveCmp {
 		if err := runAdaptiveCompare(cfg, *workers, *compareBatch, *minAdaptive, *jsonDir, *name); err != nil {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+
+	"pnstm/client"
+	"pnstm/internal/bench"
+	"pnstm/server"
+	"pnstm/stmlib"
+)
+
+// traceCompareRounds is how many alternating untraced/traced leg pairs
+// the A/B runs. The gate is a tight ratio (≤1.05), far below the
+// run-to-run noise of a single pair of short legs on a shared box —
+// alternating rounds and taking each mode's best leg cancels most of
+// the machine noise while any real tracing cost shows up in every
+// traced leg.
+const traceCompareRounds = 3
+
+// runTraceCompare measures what the conflict X-ray costs: the same
+// batched workload against two identical in-process servers, one with
+// lifecycle tracing off and one with it on (the default). The headline
+// metric is tracing_overhead_ratio = untraced / traced throughput — 1.0
+// when tracing is free, 1.05 when it eats 5% — which CI gates with a
+// benchgate ceiling so the "near-zero-cost" claim stays enforced, not
+// aspirational.
+func runTraceCompare(cfg genCfg, workers, maxBatch int, maxOverhead float64, jsonDir, name string) error {
+	type mode struct {
+		label   string
+		tracing bool
+	}
+	modes := []mode{
+		{"untraced", false},
+		{"traced", true},
+	}
+	reg := stmlib.RegistryConfig{MapBuckets: 4 * cfg.keys}
+	results := make(map[string]*genResult, len(modes))
+	var traceEvents uint64
+	for round := 0; round < traceCompareRounds; round++ {
+		for _, m := range modes {
+			s, err := server.New(server.Config{
+				Addr:           "127.0.0.1:0",
+				Workers:        workers,
+				MaxBatch:       maxBatch,
+				SharedReads:    true,
+				Registry:       reg,
+				DisableTracing: !m.tracing,
+			})
+			if err != nil {
+				return err
+			}
+			if err := s.Listen(); err != nil {
+				return err
+			}
+			go s.Serve() //nolint:errcheck // torn down via Close below
+			cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+			if err != nil {
+				s.Close()
+				return err
+			}
+			fmt.Printf("== %s round %d (workers=%d batch=%d tracing=%v)\n", m.label, round+1, workers, maxBatch, m.tracing)
+			res, err := runLoad(cl, cfg)
+			if m.tracing {
+				traceEvents += s.Stats().Runtime.TraceEvents
+			}
+			cl.Close()
+			s.Close()
+			if err != nil {
+				return err
+			}
+			printResult(cfg, res)
+			if len(res.violations) > 0 || res.errs > 0 {
+				return fmt.Errorf("%s round %d: invariant violations or request errors (see above)", m.label, round+1)
+			}
+			if prev := results[m.label]; prev == nil || res.throughput() > prev.throughput() {
+				results[m.label] = res // keep the mode's best leg
+			}
+		}
+	}
+
+	off, on := results["untraced"], results["traced"]
+	ratio := 0.0
+	if on.throughput() > 0 {
+		ratio = off.throughput() / on.throughput()
+	}
+	fmt.Printf("== tracing overhead: %.3fx (best untraced / best traced of %d rounds; %d events recorded)\n",
+		ratio, traceCompareRounds, traceEvents)
+
+	if jsonDir != "" {
+		if name == "" {
+			name = "loadgen-" + cfg.workload + "-traceab"
+		}
+		metrics := map[string]float64{
+			"untraced_throughput_per_sec": off.throughput(),
+			"traced_throughput_per_sec":   on.throughput(),
+			"tracing_overhead_ratio":      ratio,
+			"untraced_ops":                float64(off.ops),
+			"traced_ops":                  float64(on.ops),
+			"trace_events":                float64(traceEvents),
+			"traced_abort_ratio":          on.runtimeStat.abortRatio,
+		}
+		for k, v := range bench.LatencyMetrics(on.latencies) {
+			metrics["traced_"+k] = v
+		}
+		for k, v := range bench.LatencyMetrics(off.latencies) {
+			metrics["untraced_"+k] = v
+		}
+		rep := &bench.Report{
+			Name: name,
+			Kind: "loadgen",
+			Config: map[string]any{
+				"workload":    cfg.workload,
+				"concurrency": cfg.concurrency,
+				"conns":       cfg.conns,
+				"duration":    cfg.duration.String(),
+				"workers":     workers,
+				"max_batch":   maxBatch,
+				"seed":        cfg.seed,
+			},
+			Metrics: metrics,
+		}
+		rep.Notes = []string{"invariants ok in every leg"}
+		path, err := rep.WriteFile(jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", path)
+	}
+	if maxOverhead > 0 && ratio > maxOverhead {
+		return fmt.Errorf("tracing overhead %.3fx exceeds the %.3fx bound", ratio, maxOverhead)
+	}
+	return nil
+}

@@ -21,6 +21,8 @@
 //	pnstmd -data-dir ./pnstm-data -fsync=false -snapshot-every 10s
 //	pnstmd -admin :7456 -adaptive            # Prometheus /metrics, /healthz,
 //	                                         # /readyz, live /config, self-tuning
+//	pnstmd -admin :7456 -admin-debug         # + net/http/pprof under /debug/pprof/
+//	pnstmd -log-format json -log-level debug # structured logs for collectors
 //
 // With -shards N the store is split into N engine partitions by
 // structure-name hash: each shard owns its own runtime, registry,
@@ -33,13 +35,21 @@
 // fsync per batch, per shard), checkpoints the whole store on the
 // -snapshot-every cadence, and on boot recovers snapshot + WAL tail —
 // every shard concurrently — so a restart loses nothing that was acked.
-// SIGINT/SIGTERM shut down gracefully (flush + final fsync) and print
+// SIGINT/SIGTERM shut down gracefully (flush + final fsync) and log
 // the final stats. Drive it with cmd/pnstm-loadgen.
+//
+// Conflict X-ray tracing (-trace, on by default) records every
+// transaction's lifecycle into per-slot flight-recorder rings; the
+// admin listener serves the hot-key conflict ranking on GET
+// /debug/hotkeys and the raw event window on GET /debug/trace?secs=N,
+// and a crisis-token engagement dumps the recorder to a timestamped
+// flight-*.json in the data directory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +58,24 @@ import (
 	"pnstm/server"
 	"pnstm/stmlib"
 )
+
+// buildLogger renders the -log-level/-log-format flags into a slog
+// logger on stderr (stdout stays free for report-style output).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
 
 func main() {
 	var (
@@ -66,21 +94,33 @@ func main() {
 		snapEvery  = flag.Duration("snapshot-every", time.Minute, "background checkpoint cadence (0 disables; with -data-dir)")
 		walSegment = flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0: default 64 MiB)")
 		syncDelay  = flag.Duration("syncdelay", 0, "artificial per-fsync latency floor (benchmark hook simulating slower stable storage, same knob as pnstm-loadgen -syncdelay; with -data-dir -fsync)")
-		adminAddr  = flag.String("admin", "", "HTTP admin listen address serving /metrics (Prometheus), /healthz, /readyz and GET/PUT /config (empty: no admin listener)")
+		adminAddr  = flag.String("admin", "", "HTTP admin listen address serving /metrics (Prometheus), /healthz, /readyz, GET/PUT /config, /debug/hotkeys and /debug/trace (empty: no admin listener)")
+		adminDebug = flag.Bool("admin-debug", false, "additionally mount net/http/pprof under /debug/pprof/ on the admin listener")
 		adaptive   = flag.Bool("adaptive", false, "adaptive controller: walk each shard's inflight/fanout from observed abort rate and batch occupancy (togglable live via PUT /config)")
+		trace      = flag.Bool("trace", true, "conflict X-ray: record transaction-lifecycle events for /debug/hotkeys, /debug/trace and crisis dumps (togglable live via PUT /config)")
+		traceSamp  = flag.Int("trace-sample", 0, "record begin/commit lifecycle for 1 in N batches (0: default 8; 1: every batch — full fidelity, higher cost); conflict events are always recorded")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log record format: text or json")
 	)
 	flag.Parse()
 
+	log, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnstmd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(log)
+
 	if *workers < 1 || *workers > 32 {
-		fmt.Fprintf(os.Stderr, "pnstmd: -workers must be in 1..32, got %d\n", *workers)
+		log.Error("-workers must be in 1..32", "got", *workers)
 		os.Exit(2)
 	}
 	if *batch < 1 {
-		fmt.Fprintf(os.Stderr, "pnstmd: -batch must be positive, got %d\n", *batch)
+		log.Error("-batch must be positive", "got", *batch)
 		os.Exit(2)
 	}
 	if *shards < 1 || *shards > 64 {
-		fmt.Fprintf(os.Stderr, "pnstmd: -shards must be in 1..64, got %d\n", *shards)
+		log.Error("-shards must be in 1..64", "got", *shards)
 		os.Exit(2)
 	}
 
@@ -100,32 +140,39 @@ func main() {
 		SnapshotEvery:   *snapEvery,
 		WALSegmentBytes: *walSegment,
 		AdminAddr:       *adminAddr,
+		AdminDebug:      *adminDebug,
 		Adaptive:        *adaptive,
+		DisableTracing:  !*trace,
+		TraceSample:     *traceSamp,
+		Logger:          log,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pnstmd: %v\n", err)
+		log.Error("boot failed", "err", err)
 		os.Exit(1)
 	}
 	if *dataDir != "" {
 		ws := s.WALStats()
-		fmt.Printf("pnstmd: recovered %s across %d shard(s) (snapshot records %d, %d wal records replayed, %d durable records)\n",
-			*dataDir, *shards, ws.SnapshotLSN, ws.TailLSN-ws.SnapshotLSN, ws.TailLSN)
+		log.Info("recovered store", "dir", *dataDir, "shards", *shards,
+			"snapshot_records", ws.SnapshotLSN, "wal_records_replayed", ws.TailLSN-ws.SnapshotLSN,
+			"durable_records", ws.TailLSN)
 		if ws.RepairedTail {
-			fmt.Printf("pnstmd: repaired a torn WAL tail (%d segments quarantined)\n", ws.Quarantined)
+			log.Warn("repaired a torn WAL tail", "segments_quarantined", ws.Quarantined)
 		}
 	}
 	if err := s.Listen(); err != nil {
-		fmt.Fprintf(os.Stderr, "pnstmd: %v\n", err)
+		log.Error("listen failed", "err", err)
 		os.Exit(1)
 	}
 	mode := "parallel"
 	if *serial {
 		mode = "serial"
 	}
-	fmt.Printf("pnstmd listening on %s (shards=%d workers=%d batch=%d delay=%v runtime=%s)\n",
-		s.Addr(), *shards, *workers, *batch, *batchdelay, mode)
+	log.Info("listening", "addr", s.Addr().String(), "shards", *shards, "workers", *workers,
+		"batch", *batch, "delay", *batchdelay, "runtime", mode, "tracing", *trace)
 	if a := s.AdminAddr(); a != nil {
-		fmt.Printf("pnstmd admin on http://%s (/metrics /healthz /readyz /config, adaptive=%v)\n", a, *adaptive)
+		log.Info("admin listening", "addr", "http://"+a.String(),
+			"endpoints", "/metrics /healthz /readyz /config /debug/hotkeys /debug/trace",
+			"pprof", *adminDebug, "adaptive", *adaptive)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -135,10 +182,10 @@ func main() {
 
 	select {
 	case <-sig:
-		fmt.Println("pnstmd: shutting down")
+		log.Info("shutting down")
 	case err := <-serveDone:
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pnstmd: serve: %v\n", err)
+			log.Error("serve failed", "err", err)
 			s.Close()
 			os.Exit(1)
 		}
@@ -146,19 +193,20 @@ func main() {
 	start := time.Now()
 	s.Close()
 	st := s.Stats()
-	fmt.Printf("pnstmd: drained in %v\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("batches: %d  requests: %d  mean-batch: %.2f  largest: %d\n",
-		st.Batches, st.Requests, st.MeanBatch, st.LargestBatch)
-	fmt.Printf("runtime: begun=%d committed=%d aborted=%d (abort ratio %.4f) escalations=%d\n",
-		st.Runtime.Begun, st.Runtime.Committed, st.Runtime.Aborted, st.RuntimeAborts, st.Runtime.Escalations)
+	log.Info("drained", "took", time.Since(start).Round(time.Millisecond).String())
+	log.Info("batching totals", "batches", st.Batches, "requests", st.Requests,
+		"mean_batch", fmt.Sprintf("%.2f", st.MeanBatch), "largest", st.LargestBatch)
+	log.Info("runtime totals", "begun", st.Runtime.Begun, "committed", st.Runtime.Committed,
+		"aborted", st.Runtime.Aborted, "abort_ratio", fmt.Sprintf("%.4f", st.RuntimeAborts),
+		"escalations", st.Runtime.Escalations, "trace_events", st.Runtime.TraceEvents)
 	if st.WAL != nil {
-		fmt.Printf("wal: records=%d fsyncs=%d snapshots=%d segments=%d durable-records=%d\n",
-			st.WAL.Appends, st.WAL.Syncs, st.WAL.Snapshots, st.WAL.Segments, st.WAL.TailLSN)
+		log.Info("wal totals", "records", st.WAL.Appends, "fsyncs", st.WAL.Syncs,
+			"snapshots", st.WAL.Snapshots, "segments", st.WAL.Segments, "durable_records", st.WAL.TailLSN)
 	}
 	if len(st.PerShard) > 1 {
 		for _, sh := range st.PerShard {
-			fmt.Printf("shard %d: batches=%d requests=%d mean-batch=%.2f abort-ratio=%.4f\n",
-				sh.Shard, sh.Batches, sh.Requests, sh.MeanBatch, sh.Runtime.AbortRate())
+			log.Info("shard totals", "shard", sh.Shard, "batches", sh.Batches, "requests", sh.Requests,
+				"mean_batch", fmt.Sprintf("%.2f", sh.MeanBatch), "abort_ratio", fmt.Sprintf("%.4f", sh.Runtime.AbortRate()))
 		}
 	}
 }

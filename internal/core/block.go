@@ -35,6 +35,18 @@ type block struct {
 	// done receives the root block's completion; nil for non-root blocks.
 	done chan rootResult
 
+	// Trace identity inherited from the forking context (D35): the root
+	// ticket of the enclosing root transaction, the server-stamped
+	// batch/shard, and the current work tag. Copied into the adopting
+	// context so a forked child's events stay attributable to the same
+	// request lineage.
+	traceRoot  uint64
+	traceBatch uint64
+	traceTS    int64
+	traceShard uint8
+	traceTag   string
+	traceSkip  bool
+
 	// Dispatch-time state.
 	bn       bitvec.Bitnum // reserved bitnum; None while queued or borrowed
 	bnMinEp  epoch.Epoch   // minimum epoch of the reserved bitnum

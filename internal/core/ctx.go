@@ -47,6 +47,22 @@ type Ctx struct {
 	// aborts counts consecutive aborts of the innermost transaction, for
 	// backoff and slot yielding.
 	aborts int
+
+	// Trace identity (D35): traceRoot is the runtime-wide ticket of the
+	// current root-transaction lineage (assigned at the first traced root
+	// begin, inherited by forked blocks), traceBatch/traceShard are
+	// server stamps, and traceTag labels the current unit of work (the
+	// server stamps each request's structure:key). traceTS caches the
+	// root begin's wall clock so begin/commit events in the subtree skip
+	// the clock read, and traceSkip marks a root the lifecycle sampler
+	// chose not to record (conflict events record regardless, D38). All
+	// of these ride into forked blocks via Parallel.
+	traceRoot  uint64
+	traceBatch uint64
+	traceTS    int64
+	traceShard uint8
+	traceTag   string
+	traceSkip  bool
 }
 
 // Epoch returns the context's current epoch (diagnostics).
@@ -140,13 +156,16 @@ func (c *Ctx) Atomic(fn func(*Ctx) error) error {
 	}()
 	for {
 		tx := c.begin()
-		err, conflicted, pval, panicked := c.runBody(fn)
+		err, conflicted, confObj, pval, panicked := c.runBody(fn)
 		switch {
 		case conflicted:
 			c.rollback(tx)
 			c.popTx(tx)
 			c.rt.stats.aborted.Add(1)
 			c.aborts++
+			if c.rt.tracing() {
+				c.traceEvent(EvAbort, tx.depth, objLabel(confObj))
+			}
 			if c.mergedVictim() && tx.parent != nil {
 				// This block's bitnum was unilaterally discarded: its
 				// transactions run under the base transaction's identity,
@@ -155,7 +174,10 @@ func (c *Ctx) Atomic(fn func(*Ctx) error) error {
 				// elsewhere — the only consistent resolution is to abort
 				// the whole base transaction (D16).
 				c.rt.stats.escalations.Add(1)
-				panic(conflictSignal{})
+				if c.rt.tracing() {
+					c.traceEvent(EvEscalate, tx.depth, objLabel(confObj))
+				}
+				panic(conflictSignal{obj: confObj})
 			}
 			if tx.parent != nil && c.aborts >= c.rt.cfg.EscalateAfterAborts {
 				// Nesting-aware contention management: retrying here can
@@ -168,7 +190,10 @@ func (c *Ctx) Atomic(fn func(*Ctx) error) error {
 				// whole fork with backoff.
 				c.rt.stats.escalations.Add(1)
 				c.aborts = 0
-				panic(conflictSignal{})
+				if c.rt.tracing() {
+					c.traceEvent(EvEscalate, tx.depth, objLabel(confObj))
+				}
+				panic(conflictSignal{obj: confObj})
 			}
 			if tx.parent == nil && !crisis && c.aborts >= c.rt.cfg.CrisisAborts {
 				// Cross-root livelock breaker: concurrent roots with
@@ -184,6 +209,12 @@ func (c *Ctx) Atomic(fn func(*Ctx) error) error {
 				if c.rt.crisisToken.CompareAndSwap(false, true) {
 					crisis = true
 					c.rt.stats.crises.Add(1)
+					if c.rt.tracing() {
+						c.traceEvent(EvCrisis, tx.depth, objLabel(confObj))
+					}
+					if hook := c.rt.crisisHook; hook != nil {
+						hook()
+					}
 				} else {
 					// The bound exists only for a pathologically stuck
 					// holder. It must dwarf the cost of one loser attempt
@@ -216,12 +247,13 @@ func (c *Ctx) Atomic(fn func(*Ctx) error) error {
 }
 
 // runBody invokes fn, translating a conflictSignal unwind into the
-// conflicted flag and capturing user panics.
-func (c *Ctx) runBody(fn func(*Ctx) error) (err error, conflicted bool, pval any, panicked bool) {
+// conflicted flag (keeping the conflicting object for attribution) and
+// capturing user panics.
+func (c *Ctx) runBody(fn func(*Ctx) error) (err error, conflicted bool, confObj *Object, pval any, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(conflictSignal); ok {
-				conflicted = true
+			if sig, ok := r.(conflictSignal); ok {
+				conflicted, confObj = true, sig.obj
 				return
 			}
 			pval, panicked = r, true
@@ -261,9 +293,26 @@ func (c *Ctx) begin() *txDesc {
 		parent:   c.cur,
 		borrowed: borrowed,
 	}
+	if tx.parent != nil && tx.parent.depth < 255 {
+		tx.depth = tx.parent.depth + 1
+	}
 	c.cur = tx
 	c.ancBase = tx.anc
 	c.rt.stats.begun.Add(1)
+	if c.rt.tracing() {
+		if tx.parent == nil && c.traceRoot == 0 {
+			// One ticket, one clock read and one sampling decision per
+			// root lineage; the whole subtree inherits all three (D38).
+			c.traceRoot = c.rt.rootSeq.Add(1)
+			c.traceTS = time.Now().UnixNano()
+			if every := c.rt.rec.sample.Load(); every > 1 && c.traceRoot%every != 0 {
+				c.traceSkip = true
+			}
+		}
+		if !c.traceSkip {
+			c.traceEvent(EvBegin, tx.depth, "")
+		}
+	}
 	c.rt.hook("BEGIN bn=%v borrowed=%v anc=%v ep=%d block=%p", tx.bitnum, borrowed, tx.anc, c.ep, c.block)
 	return tx
 }
@@ -281,6 +330,9 @@ func (c *Ctx) commit(tx *txDesc) {
 	}
 	c.popTx(tx)
 	c.rt.stats.committed.Add(1)
+	if c.rt.tracing() && !c.traceSkip {
+		c.traceEvent(EvCommit, tx.depth, "")
+	}
 }
 
 // bnWasDiscarded reports whether tx's bitnum was discarded out from under
@@ -474,11 +526,17 @@ func (c *Ctx) Parallel(fns ...func(*Ctx)) {
 	blocks := make([]*block, len(rest))
 	for i, fn := range rest {
 		blocks[i] = &block{
-			program: fn,
-			baseTx:  c.cur,
-			minEp:   c.ep,
-			succ:    j,
-			comDesc: snap,
+			program:    fn,
+			baseTx:     c.cur,
+			minEp:      c.ep,
+			succ:       j,
+			comDesc:    snap,
+			traceRoot:  c.traceRoot,
+			traceBatch: c.traceBatch,
+			traceTS:    c.traceTS,
+			traceShard: c.traceShard,
+			traceTag:   c.traceTag,
+			traceSkip:  c.traceSkip,
 		}
 	}
 	forkEp := c.ep

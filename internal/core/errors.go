@@ -24,8 +24,13 @@ var ErrClosed = errors.New("core: runtime is closed")
 
 // conflictSignal unwinds a transaction body when an access detects a
 // conflict. It is recovered inside Atomic, which rolls back and retries;
-// it never escapes the package.
-type conflictSignal struct{}
+// it never escapes the package. obj is the object whose access failed
+// the conflict test — carried for abort attribution (D35) and
+// propagated when the conflict escalates to the parent, so the event
+// stream pins the blame on the contended object at every level.
+type conflictSignal struct {
+	obj *Object
+}
 
 // blockPanic wraps a panic value that crossed a block boundary so the
 // forking context can re-panic it without confusing it with internal

@@ -18,6 +18,11 @@ type Object struct {
 	val     any
 	stack   []objEntry
 	readers readerSet // shared-read entries (Config.SharedReads, paper §9)
+
+	// label names the object for conflict attribution (D35) — e.g. a
+	// stmlib map bucket's "m:orders/3". Written once by SetLabel before
+	// the object sees transactional traffic, read lock-free afterwards.
+	label string
 	// pushSeq numbers entry pushes so rollback can identify exactly its
 	// own entries. After a unilateral discard (§6.2), a merged victim's
 	// active entries read as base-transaction-owned, and a sibling may
@@ -61,6 +66,24 @@ func (o *Object) pushEntry(c *Ctx, tx *txDesc) {
 // NewObject returns an object holding the given initial value.
 func NewObject(initial any) *Object {
 	return &Object{val: initial}
+}
+
+// SetLabel names the object for conflict attribution. Call once at
+// structure-construction time, before any transaction touches the
+// object; labels are read without synchronization afterwards.
+func (o *Object) SetLabel(label string) { o.label = label }
+
+// Label returns the attribution label ("" when unnamed).
+func (o *Object) Label() string { return o.label }
+
+// objLabel renders an object reference for an event, tolerating nil
+// (a conflict signal that crossed a block boundary loses nothing but
+// may have started unattributed).
+func objLabel(o *Object) string {
+	if o == nil {
+		return ""
+	}
+	return o.label
 }
 
 // Peek returns the object's current value without any transactional
@@ -168,7 +191,10 @@ func (c *Ctx) access(o *Object, newVal any, store bool) any {
 			c.rt.stats.conflicts.Add(1)
 		}
 		if spins >= c.rt.cfg.SpinRetries {
-			panic(conflictSignal{})
+			// Attribute the abort to the object that failed validation: the
+			// signal carries it to Atomic's recover, which records it and
+			// re-attaches it to any escalation it raises (D35).
+			panic(conflictSignal{obj: o})
 		}
 		spins++
 		runtime.Gosched()

@@ -159,6 +159,18 @@ type Runtime struct {
 	// never wedge the runtime.
 	crisisToken atomic.Bool
 
+	// rec is the lifecycle-event flight recorder (D35). Always built;
+	// records only while its enabled flag is set.
+	rec *recorder
+
+	// rootSeq tickets traced root transactions so every event in one
+	// root's lineage shares an identity.
+	rootSeq atomic.Uint64
+
+	// crisisHook, when non-nil, runs on the goroutine of each root that
+	// takes the crisis token (the server dumps the flight recorder).
+	crisisHook func()
+
 	// testHook, when non-nil, receives diagnostic scheduling events
 	// (dispatch decisions, borrow conversions). Tests only.
 	testHook func(format string, args ...any)
@@ -179,6 +191,7 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{cfg: cfg}
+	rt.rec = newRecorder(cfg.Workers)
 	if cfg.Serial {
 		// The baseline runs on the caller's goroutine with no scheduler,
 		// bitnums, or publisher (paper §7: "work stealing is disabled ...
@@ -260,6 +273,7 @@ func (rt *Runtime) Stats() Stats {
 	if rt.limiter != nil {
 		s.PeakParents = uint64(rt.limiter.Peak())
 	}
+	s.TraceEvents, s.TraceDropped = rt.TraceStats()
 	return s
 }
 
@@ -291,11 +305,17 @@ func (rt *Runtime) Bitnums() int { return rt.nbits }
 // newCtx builds the context for a dispatched block.
 func (rt *Runtime) newCtx(b *block) *Ctx {
 	c := &Ctx{
-		rt:      rt,
-		block:   b,
-		baseTx:  b.baseTx,
-		cur:     b.baseTx,
-		comDesc: cloneNotes(b.comDesc),
+		rt:         rt,
+		block:      b,
+		baseTx:     b.baseTx,
+		cur:        b.baseTx,
+		comDesc:    cloneNotes(b.comDesc),
+		traceRoot:  b.traceRoot,
+		traceBatch: b.traceBatch,
+		traceTS:    b.traceTS,
+		traceShard: b.traceShard,
+		traceTag:   b.traceTag,
+		traceSkip:  b.traceSkip,
 	}
 	if b.borrowed {
 		c.bn = b.baseTx.bitnum

@@ -31,6 +31,10 @@ type Stats struct {
 
 	// Publication.
 	HelpPublishes uint64 // synchronous publication cycles run by starved accessors (D7)
+
+	// Tracing (D35). Filled from the flight recorder at Stats() time.
+	TraceEvents  uint64 // lifecycle events recorded
+	TraceDropped uint64 // events overwritten before any reader drained them
 }
 
 // Sub returns the counter-by-counter difference s − prev. Both snapshots
@@ -58,6 +62,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		BorrowSwitches: s.BorrowSwitches - prev.BorrowSwitches,
 		PeakParents:    s.PeakParents,
 		HelpPublishes:  s.HelpPublishes - prev.HelpPublishes,
+		TraceEvents:    s.TraceEvents - prev.TraceEvents,
+		TraceDropped:   s.TraceDropped - prev.TraceDropped,
 	}
 }
 
@@ -91,6 +97,8 @@ func (s Stats) Add(o Stats) Stats {
 		BorrowSwitches: s.BorrowSwitches + o.BorrowSwitches,
 		PeakParents:    peak,
 		HelpPublishes:  s.HelpPublishes + o.HelpPublishes,
+		TraceEvents:    s.TraceEvents + o.TraceEvents,
+		TraceDropped:   s.TraceDropped + o.TraceDropped,
 	}
 }
 

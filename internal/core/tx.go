@@ -33,6 +33,10 @@ type txDesc struct {
 	// its commit is an identity merge and must not be published (D4).
 	borrowed bool
 
+	// depth is the nesting depth (0 for roots), recorded into lifecycle
+	// trace events (D35). Saturates at 255 — deeper than any real tree.
+	depth uint8
+
 	// liveBlocks counts unfinished blocks whose base transaction is this
 	// one, across every fork made in its context (including bare forks by
 	// descendant blocks that started no transaction of their own). The

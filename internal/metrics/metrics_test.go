@@ -155,3 +155,36 @@ func TestConcurrentObserveAndScrape(t *testing.T) {
 		t.Fatalf("count mismatch: hist=%d counter=%d, want %d", s.Count, c.Load(), 4*perG)
 	}
 }
+
+// TestHistogramBoundaryObservation pins the `le` contract: an
+// observation EXACTLY equal to a bucket's upper bound lands in that
+// bucket (le is inclusive, per Prometheus), deterministically, for
+// every bound including the first, the last, and repeated observations.
+func TestHistogramBoundaryObservation(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	h := NewHistogram(bounds)
+	for _, b := range bounds {
+		h.Observe(b)
+		h.Observe(b) // repeatability: same value, same bucket, every time
+	}
+	s := h.Snapshot()
+	for i := range bounds {
+		if s.Counts[i] != 2 {
+			t.Fatalf("bucket le=%v holds %d, want 2 (counts=%v)", bounds[i], s.Counts[i], s.Counts)
+		}
+	}
+	if s.Counts[len(bounds)] != 0 {
+		t.Fatalf("+Inf bucket holds %d, want 0 (counts=%v)", s.Counts[len(bounds)], s.Counts)
+	}
+
+	// A hair above a bound must spill to the NEXT bucket, a hair below
+	// must stay — the boundary is exact, not approximate.
+	h2 := NewHistogram(bounds)
+	h2.Observe(math.Nextafter(0.01, 1)) // just above le=0.01 -> le=0.1
+	h2.Observe(math.Nextafter(0.01, 0)) // just below le=0.01 -> le=0.01
+	h2.Observe(math.Nextafter(1, 2))    // just above the last bound -> +Inf
+	s2 := h2.Snapshot()
+	if got := []uint64{s2.Counts[1], s2.Counts[2], s2.Counts[4]}; got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("neighbourhood observations misplaced: counts=%v", s2.Counts)
+	}
+}

@@ -158,6 +158,72 @@ func (r *Runtime) Workers() int { return r.rt.Workers() }
 // benchmarks (pause, resume, drain). Nil in Serial mode.
 func (r *Runtime) Publisher() *epoch.Publisher { return r.rt.Publisher() }
 
+// TraceEvent is one recorded transaction-lifecycle event; see the core
+// package's Event documentation. Kinds are the EvBegin..EvCrisis
+// constants; TraceKindName renders them.
+type TraceEvent = core.Event
+
+// Trace event kinds.
+const (
+	EvBegin    = core.EvBegin
+	EvCommit   = core.EvCommit
+	EvAbort    = core.EvAbort
+	EvEscalate = core.EvEscalate
+	EvCrisis   = core.EvCrisis
+)
+
+// TraceKindName renders a trace-event kind ("begin", "abort", ...).
+func TraceKindName(k uint8) string { return core.KindName(k) }
+
+// EnableTracing switches lifecycle-event recording on or off (the
+// conflict X-ray flight recorder). Safe to flip at any time.
+func (r *Runtime) EnableTracing(on bool) { r.rt.EnableTracing(on) }
+
+// TracingEnabled reports whether lifecycle events are being recorded.
+func (r *Runtime) TracingEnabled() bool { return r.rt.TracingEnabled() }
+
+// SetTraceSampling records the begin/commit lifecycle for 1 in every
+// roots (0 or 1: every root). Conflict events — abort, escalate,
+// crisis — are always recorded regardless, so abort attribution stays
+// exact under sampling.
+func (r *Runtime) SetTraceSampling(every uint64) { r.rt.SetTraceSampling(every) }
+
+// TraceSampling returns the lifecycle sampling divisor (≤1: all roots).
+func (r *Runtime) TraceSampling() uint64 { return r.rt.TraceSampling() }
+
+// TraceRings returns the recorder's ring count — the cursor-slice
+// length TraceRead expects.
+func (r *Runtime) TraceRings() int { return r.rt.TraceRings() }
+
+// TraceRead drains events recorded since the given per-ring cursors
+// (nil reads from each ring's start) and returns them with the
+// advanced cursors. Lock-free; safe to call concurrently with running
+// transactions.
+func (r *Runtime) TraceRead(cursors []uint64) ([]TraceEvent, []uint64) {
+	return r.rt.TraceRead(cursors)
+}
+
+// TraceReadConflicts drains only abort/escalate/crisis events (always
+// recorded regardless of lifecycle sampling) from the dedicated
+// conflict rings — the cheap poll for continuous consumers like the
+// hot-key profiler.
+func (r *Runtime) TraceReadConflicts(cursors []uint64) ([]TraceEvent, []uint64) {
+	return r.rt.TraceReadConflicts(cursors)
+}
+
+// TraceSnapshot returns every event the flight recorder currently
+// retains (for dumps).
+func (r *Runtime) TraceSnapshot() []TraceEvent { return r.rt.TraceSnapshot() }
+
+// TraceStats reports events recorded and events dropped (overwritten
+// before any reader drained them).
+func (r *Runtime) TraceStats() (events, dropped uint64) { return r.rt.TraceStats() }
+
+// SetCrisisHook installs fn to run each time a root transaction takes
+// the cross-root crisis token (on that root's goroutine — it must not
+// block). The server dumps the flight recorder here.
+func (r *Runtime) SetCrisisHook(fn func()) { r.rt.SetCrisisHook(fn) }
+
 // TVar is a typed transactional variable.
 type TVar[T any] struct {
 	obj *core.Object

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -65,6 +67,18 @@ func (s *Server) listenAdmin() error {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/config", s.handleConfig)
+	mux.HandleFunc("/debug/hotkeys", s.handleHotKeys)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	if s.cfg.AdminDebug {
+		// Mounted explicitly (not via the net/http/pprof import side
+		// effect) so the handlers exist only behind the opt-in flag and
+		// only on this mux, never on http.DefaultServeMux.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.adminSrv = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -153,6 +167,47 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", "GET, PUT")
 		w.WriteHeader(http.StatusMethodNotAllowed)
 	}
+}
+
+// handleHotKeys serves the conflict profiler's ranked table (D36).
+// ?n=K bounds the entry count (default 32).
+func (s *Server) handleHotKeys(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	n := 32
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "n must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, s.HotKeys(n))
+}
+
+// handleTrace dumps the flight recorder's retained events as JSON,
+// optionally trimmed to the trailing ?secs=N window (D37).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var window time.Duration
+	if raw := r.URL.Query().Get("secs"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v <= 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "secs must be a positive number"})
+			return
+		}
+		window = time.Duration(v * float64(time.Second))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tracing bool         `json:"tracing"`
+		Shards  []ShardTrace `json:"shards"`
+	}{s.TracingEnabled(), s.TraceWindow(window)})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

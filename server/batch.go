@@ -84,6 +84,13 @@ type batcher struct {
 
 	obs *batchObs // nil: uninstrumented
 
+	// shardID and batchSeq stamp trace identity (D35): with tracing on,
+	// every batch draws a ticket and stamps (batch, shard) onto its root
+	// context, so a request's events can be followed wire → batch root →
+	// nested child → commit/abort across the whole store.
+	shardID  uint8
+	batchSeq atomic.Uint64
+
 	mu       sync.Mutex
 	batches  uint64
 	requests uint64
@@ -228,7 +235,20 @@ func (b *batcher) execute(batch []*pending) {
 	// final attempt read it, so A took its ticket first: sorting by seq
 	// reproduces a valid serialization of the batch on replay.
 	var seq atomic.Uint64
+	// One TracingEnabled load per batch, not per request: with tracing
+	// off the stamping below compiles down to a dead branch.
+	traced := b.rt.TracingEnabled()
+	var batchID uint64
+	if traced {
+		batchID = b.batchSeq.Add(1)
+	}
 	apply := func(c *pnstm.Ctx, p *pending) {
+		if traced {
+			// Tag the context with the victim request's identity before its
+			// child begins: any abort inside carries name:key, which is what
+			// the hot-key profiler ranks on (D36).
+			c.SetTraceTag(requestTraceTag(p.req))
+		}
 		if b.wal == nil || !canMutate(p.req) {
 			// Pure reads never log, so they skip the ticket-stamping
 			// wrapper transaction entirely.
@@ -247,6 +267,9 @@ func (b *batcher) execute(batch []*pending) {
 	}
 
 	err := b.rt.Run(func(c *pnstm.Ctx) {
+		if traced {
+			c.StampTrace(batchID, b.shardID)
+		}
 		_ = c.Atomic(func(c *pnstm.Ctx) error {
 			// A block dispatch costs roughly a worker wakeup, so forking
 			// pays only when a block carries several point requests; small
@@ -367,6 +390,20 @@ func (b *batcher) logBatch(batch []*pending) error {
 	}
 	_, err := b.wal.Append(body)
 	return err
+}
+
+// requestTraceTag renders a request's identity for abort attribution:
+// name:key for keyed ops, the structure name otherwise, "tx" for an
+// anonymous envelope.
+func requestTraceTag(req *Request) string {
+	switch {
+	case req.Key != "":
+		return req.Name + ":" + req.Key
+	case req.Name != "":
+		return req.Name
+	default:
+		return "tx"
+	}
 }
 
 // applyRequest executes one request as its own nested transaction inside

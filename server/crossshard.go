@@ -308,6 +308,13 @@ func (s *Server) runCrossShard(req *Request, plan *txPlan) Response {
 			defer wg.Done()
 			reported := false
 			err := sh.rt.Run(func(c *pnstm.Ctx) {
+				if sh.rt.TracingEnabled() {
+					// Trace identity: the GSN is the envelope's batch ticket
+					// on every participant, so one cross-shard commit's events
+					// correlate across all the shards' recorders (D35).
+					c.StampTrace(gsn, uint8(sh.id))
+					c.SetTraceTag(requestTraceTag(req))
+				}
 				_ = c.Atomic(func(c *pnstm.Ctx) error {
 					rep := executeSlice(c, sh.reg, ops, plan.slices[sh.id], sh.id)
 					reported = true

@@ -63,6 +63,37 @@ func newServerObs(s *Server, cfg Config) *serverObs {
 		return float64(len(s.conns))
 	})
 
+	// Conflict X-ray (D35–D37). s.prof is built after the shards, so
+	// every closure nil-checks it (a scrape can only arrive later, but
+	// cheap defense beats an ordering invariant).
+	r.GaugeFunc("pnstm_tracing", "1 while transaction-lifecycle tracing records into the flight recorder.",
+		nil, func() float64 {
+			if len(s.shards) > 0 && s.shards[0].rt.TracingEnabled() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterSamples("pnstm_hotkey_aborts",
+		"Conflict aborts and escalations attributed per key (space-saving top-K; err_bound is the possible overcount).",
+		func() []metrics.Sample {
+			if s.prof == nil {
+				return nil
+			}
+			top := s.prof.sketch.top(32)
+			out := make([]metrics.Sample, len(top))
+			for i, hk := range top {
+				out[i] = metrics.Sample{Labels: metrics.Labels{"key": hk.Key}, Value: float64(hk.Count)}
+			}
+			return out
+		})
+	r.CounterFunc("pnstm_crisis_dumps_total", "Flight-recorder dump files written on crisis engagements.", nil,
+		func() float64 {
+			if s.prof == nil {
+				return 0
+			}
+			return float64(s.prof.dumps.Load())
+		})
+
 	for i := 0; i < cfg.Shards; i++ {
 		i := i
 		lbl := metrics.Labels{"shard": strconv.Itoa(i)}
@@ -100,6 +131,22 @@ func newServerObs(s *Server, cfg Config) *serverObs {
 			func() float64 {
 				if sh := sh(); sh != nil {
 					return float64(sh.rt.Stats().Crises)
+				}
+				return 0
+			})
+		r.CounterFunc("pnstm_trace_events_total", "Transaction-lifecycle events recorded into the flight recorder.", lbl,
+			func() float64 {
+				if sh := sh(); sh != nil {
+					e, _ := sh.rt.TraceStats()
+					return float64(e)
+				}
+				return 0
+			})
+		r.CounterFunc("pnstm_trace_dropped_total", "Flight-recorder events overwritten before any reader drained them.", lbl,
+			func() float64 {
+				if sh := sh(); sh != nil {
+					_, d := sh.rt.TraceStats()
+					return float64(d)
 				}
 				return 0
 			})

@@ -21,6 +21,7 @@ type RuntimeConfig struct {
 	maxInflight   int
 	snapshotEvery time.Duration
 	adaptive      bool
+	tracing       bool
 
 	// Immutable constraints captured at boot.
 	durable bool // DataDir set: the WAL needs root-commit order, inflight = 1
@@ -37,6 +38,7 @@ func newRuntimeConfig(cfg Config) *RuntimeConfig {
 		maxInflight:   cfg.MaxInflight,
 		snapshotEvery: cfg.SnapshotEvery,
 		adaptive:      cfg.Adaptive,
+		tracing:       !cfg.DisableTracing,
 		durable:       cfg.DataDir != "",
 		serial:        cfg.Serial,
 		workers:       cfg.Workers,
@@ -53,6 +55,7 @@ type ConfigUpdate struct {
 	MaxInflight     *int     `json:"max_inflight,omitempty"`
 	SnapshotEveryMs *float64 `json:"snapshot_every_ms,omitempty"`
 	Adaptive        *bool    `json:"adaptive,omitempty"`
+	Tracing         *bool    `json:"tracing,omitempty"`
 }
 
 // ShardConfigView is one shard's EFFECTIVE knob values — what its
@@ -73,6 +76,7 @@ type ConfigView struct {
 	MaxInflight     int               `json:"max_inflight"`
 	SnapshotEveryMs float64           `json:"snapshot_every_ms"`
 	Adaptive        bool              `json:"adaptive"`
+	Tracing         bool              `json:"tracing"`
 	Durable         bool              `json:"durable"`
 	Serial          bool              `json:"serial"`
 	PerShard        []ShardConfigView `json:"per_shard,omitempty"`
@@ -140,7 +144,17 @@ func (rc *RuntimeConfig) apply(u *ConfigUpdate) error {
 	if u.Adaptive != nil {
 		rc.adaptive = *u.Adaptive
 	}
+	if u.Tracing != nil {
+		rc.tracing = *u.Tracing
+	}
 	return nil
+}
+
+// tracingOn reports the live tracing setting.
+func (rc *RuntimeConfig) tracingOn() bool {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return rc.tracing
 }
 
 // base returns the current base knob values.
@@ -176,6 +190,7 @@ func (rc *RuntimeConfig) view() ConfigView {
 		MaxInflight:     rc.maxInflight,
 		SnapshotEveryMs: float64(rc.snapshotEvery) / float64(time.Millisecond),
 		Adaptive:        rc.adaptive,
+		Tracing:         rc.tracing,
 		Durable:         rc.durable,
 		Serial:          rc.serial,
 	}
@@ -197,6 +212,7 @@ func (s *Server) ApplyConfig(u *ConfigUpdate) (ConfigView, error) {
 		sh.b.knobs.fanout.Store(int32(fanout))
 		sh.b.pl.setLimit(inflight)
 	}
+	s.SetTracing(s.rc.tracingOn())
 	return s.ConfigSnapshot(), nil
 }
 

@@ -6,9 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -132,6 +132,36 @@ type Config struct {
 	// occupancy (AIMD with hysteresis; WAL and Serial shards stay
 	// clamped to 1 inflight). Togglable at runtime via PUT /config.
 	Adaptive bool
+
+	// DisableTracing turns conflict X-ray tracing OFF at boot (D35–D37).
+	// By default every shard's runtime records transaction-lifecycle
+	// events into per-slot flight-recorder rings, the profiler ranks
+	// abort attributions into the /debug/hotkeys table, and a crisis
+	// engagement dumps the recorder to DataDir. Disable it to reclaim
+	// the recording cost entirely, or live via PUT /config
+	// {"tracing": false}.
+	DisableTracing bool
+
+	// TraceSample is the lifecycle sampling divisor: begin/commit events
+	// are recorded for 1 in TraceSample root transactions (batches).
+	// Conflict events — abort, escalate, crisis — are ALWAYS recorded,
+	// so /debug/hotkeys attribution stays exact; sampling only thins the
+	// steady-state begin/commit firehose, which is what keeps default-on
+	// tracing inside its ≤5% overhead budget (D38). 0 picks the default
+	// (8); 1 records every root — full-fidelity tracing for debugging
+	// sessions, at a measurably higher cost.
+	TraceSample int
+
+	// AdminDebug additionally mounts net/http/pprof under /debug/pprof/
+	// on the admin listener. Off by default: profiling endpoints can
+	// stall the process (heap dumps, multi-second CPU profiles) and do
+	// not belong on an unauthenticated plane unless asked for.
+	AdminDebug bool
+
+	// Logger receives the server's structured log records (shutdown
+	// durability failures, crisis dumps, admin-plane errors). Nil: the
+	// process-default slog logger.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -153,7 +183,18 @@ func (c *Config) fillDefaults() {
 	if c.MaxInflight <= 0 || c.Serial || c.DataDir != "" {
 		c.MaxInflight = 1
 	}
+	if c.TraceSample <= 0 {
+		c.TraceSample = defaultTraceSample
+	}
 }
+
+// defaultTraceSample is the default lifecycle sampling divisor: 1 in 8
+// batches gets full begin/commit tracing. Chosen so default-on tracing
+// stays within its ≤5% throughput budget on an all-point-op workload
+// (enforced by the CI benchgate's tracing_overhead_ratio ceiling) while
+// /debug/trace still shows a fresh batch tree every few milliseconds
+// under any real load.
+const defaultTraceSample = 8
 
 // ShardStats is one engine partition's slice of ServerStats.
 type ShardStats struct {
@@ -260,9 +301,13 @@ type Server struct {
 	crossSem chan struct{}
 
 	// obs/rc are the observability and live-config planes; ctrlStop/
-	// ctrlDone fence the adaptive controller goroutine.
+	// ctrlDone fence the adaptive controller goroutine. prof is the
+	// conflict profiler draining the shards' flight recorders (D36);
+	// log receives structured operational records.
 	obs      *serverObs
 	rc       *RuntimeConfig
+	prof     *traceProfiler
+	log      *slog.Logger
 	ctrlStop chan struct{}
 	ctrlDone chan struct{}
 
@@ -288,6 +333,10 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		conns:    make(map[net.Conn]struct{}),
 		crossSem: make(chan struct{}, maxCrossInflight),
+	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	s.rc = newRuntimeConfig(cfg)
 	s.obs = newServerObs(s, cfg)
@@ -320,6 +369,19 @@ func New(cfg Config) (*Server, error) {
 	for i, sh := range s.shards {
 		sh.b = newBatcher(sh.rt, sh.reg, sh.wal, cfg.MaxBatch, cfg.BatchFanout, cfg.MaxInflight, cfg.BatchDelay)
 		sh.b.obs = s.obs.batch[i]
+		sh.b.shardID = uint8(i)
+	}
+	// Conflict X-ray (D35–D37): tracing goes live only after recovery so
+	// the flight recorder holds served traffic, not replay; the profiler
+	// and the crisis hooks run regardless (a PUT /config can turn
+	// tracing on later).
+	s.prof = newTraceProfiler(s)
+	for _, sh := range s.shards {
+		sh.rt.SetCrisisHook(s.prof.noteCrisis)
+		sh.rt.SetTraceSampling(uint64(cfg.TraceSample))
+		if !cfg.DisableTracing {
+			sh.rt.EnableTracing(true)
+		}
 	}
 	// The checkpointer runs whenever there is a data directory — its
 	// cadence (SnapshotEvery) is a live knob now, so even a server booted
@@ -618,6 +680,7 @@ func (s *Server) Close() {
 		s.ln.Close()
 	}
 	s.stopController()
+	s.prof.close()
 	if s.ckStop != nil {
 		close(s.ckStop)
 		<-s.ckDone
@@ -657,10 +720,10 @@ func (s *Server) Close() {
 		// reach stable storage, so a failure here must not masquerade as
 		// a clean shutdown.
 		if err := sh.wal.Sync(); err != nil {
-			fmt.Fprintf(os.Stderr, "server: shard %d final wal fsync failed — acked writes may not be durable: %v\n", sh.id, err)
+			s.log.Error("final wal fsync failed — acked writes may not be durable", "shard", sh.id, "err", err)
 		}
 		if err := sh.wal.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "server: shard %d wal close: %v\n", sh.id, err)
+			s.log.Error("wal close failed", "shard", sh.id, "err", err)
 		}
 	}
 	s.mu.Lock()
@@ -692,6 +755,7 @@ func (s *Server) Kill() {
 	}
 	s.closeAdmin(false) // hard stop: a crash does not drain scrapes
 	s.stopController()
+	s.prof.close()
 	if s.ckStop != nil {
 		close(s.ckStop)
 		<-s.ckDone

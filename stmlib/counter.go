@@ -51,6 +51,15 @@ func NewTCounterFanout(stripes, fanout int) *TCounter {
 // Stripes returns the stripe count (diagnostics and benchmarks).
 func (t *TCounter) Stripes() int { return len(t.stripes) }
 
+// SetLabel names the counter's stripes for conflict attribution (D35):
+// stripe i becomes "c:<name>/<i>" in flight-recorder events. Call once
+// at construction time, before transactions touch the counter.
+func (t *TCounter) SetLabel(name string) {
+	for i, s := range t.stripes {
+		s.Obj().SetLabel("c:" + name + "/" + itoa(i))
+	}
+}
+
 // Add adds delta to the counter.
 func (t *TCounter) Add(c *pnstm.Ctx, delta int64) {
 	_ = c.Atomic(func(c *pnstm.Ctx) error {

@@ -3,6 +3,7 @@ package stmlib
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 )
 
 // hashKey maps a comparable key to a 64-bit hash. Common scalar kinds are
@@ -100,3 +101,6 @@ func ceilPow2(n int) int {
 	}
 	return 1 << bits.Len(uint(n-1))
 }
+
+// itoa renders a small non-negative index for attribution labels.
+func itoa(i int) string { return strconv.Itoa(i) }

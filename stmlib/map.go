@@ -64,6 +64,15 @@ func NewTMapFanout[K comparable, V any](buckets, fanout int) *TMap[K, V] {
 // Buckets returns the bucket count (diagnostics and benchmarks).
 func (m *TMap[K, V]) Buckets() int { return len(m.buckets) }
 
+// SetLabel names the map's buckets for conflict attribution (D35):
+// bucket i becomes "m:<name>/<i>" in flight-recorder events. Call once
+// at construction time, before transactions touch the map.
+func (m *TMap[K, V]) SetLabel(name string) {
+	for i, b := range m.buckets {
+		b.Obj().SetLabel("m:" + name + "/" + itoa(i))
+	}
+}
+
 func (m *TMap[K, V]) bucket(k K) *pnstm.TVar[map[K]V] {
 	return m.buckets[hashKey(k)&m.mask]
 }

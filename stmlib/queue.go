@@ -43,6 +43,15 @@ func NewTQueue[T any]() *TQueue[T] {
 	}
 }
 
+// SetLabel names the queue's variables for conflict attribution (D35):
+// "q:<name>/in", "q:<name>/out" and "q:<name>/size". Call once at
+// construction time, before transactions touch the queue.
+func (q *TQueue[T]) SetLabel(name string) {
+	q.in.Obj().SetLabel("q:" + name + "/in")
+	q.out.Obj().SetLabel("q:" + name + "/out")
+	q.size.Obj().SetLabel("q:" + name + "/size")
+}
+
 // Push appends v to the back of the queue.
 func (q *TQueue[T]) Push(c *pnstm.Ctx, v T) {
 	_ = c.Atomic(func(c *pnstm.Ctx) error {

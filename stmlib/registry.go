@@ -72,6 +72,7 @@ func (r *Registry) Map(name string) *TMap[string, []byte] {
 	defer r.mu.Unlock()
 	if m = r.maps[name]; m == nil {
 		m = NewTMapFanout[string, []byte](r.buckets, r.fanout)
+		m.SetLabel(name) // conflict attribution (D35)
 		r.maps[name] = m
 	}
 	return m
@@ -89,6 +90,7 @@ func (r *Registry) Queue(name string) *TQueue[[]byte] {
 	defer r.mu.Unlock()
 	if q = r.queues[name]; q == nil {
 		q = NewTQueue[[]byte]()
+		q.SetLabel(name) // conflict attribution (D35)
 		r.queues[name] = q
 	}
 	return q
@@ -106,6 +108,7 @@ func (r *Registry) Counter(name string) *TCounter {
 	defer r.mu.Unlock()
 	if c = r.counters[name]; c == nil {
 		c = NewTCounterFanout(r.stripes, r.fanout)
+		c.SetLabel(name) // conflict attribution (D35)
 		r.counters[name] = c
 	}
 	return c
