@@ -5,6 +5,16 @@
 // multi-structure operations — guards included — over the generic wire
 // envelope. Checkout is one such composition, kept as a convenience.
 //
+// Connect is the construction path: it dials every address in
+// Options.Addrs, handshakes each connection (a versioned Hello with
+// feature bits — legacy servers that reject the unknown opcode are
+// classified as primaries with no features), and learns which endpoints
+// are primaries and which are read replicas. Writes always go to a
+// primary; read-only operations are routed by Options.ReadPreference,
+// within the Options.MaxStaleness bound the handshake declares — a
+// replica that cannot meet the bound answers StatusNotPrimary and the
+// client falls back or surfaces ErrNotPrimary.
+//
 // A Client is safe for concurrent use; that is the intended shape.
 // Every in-flight request from every goroutine rides one of the pooled
 // connections and is matched to its response by id, so N concurrent
@@ -32,21 +42,74 @@ import (
 	"pnstm/server"
 )
 
-// Options configures Dial.
+// ReadPreference selects where read-only operations execute.
+type ReadPreference int
+
+const (
+	// ReadPrimary (the default) serves reads from a primary — the
+	// strongest freshness; replicas are used only when the pool holds no
+	// primary at all.
+	ReadPrimary ReadPreference = iota
+	// ReadPreferReplica serves reads from a replica when one is pooled,
+	// falling back to a primary when none is (or when the replica
+	// refuses for staleness).
+	ReadPreferReplica
+	// ReadReplicaRequired serves reads ONLY from replicas — reads fail
+	// rather than load the primary (capacity isolation).
+	ReadReplicaRequired
+)
+
+// ErrNotPrimary is wrapped into errors for operations a replica refused
+// with a redirect (mutations on a replica, or reads beyond the
+// connection's staleness bound). The error text names the primary.
+// Test with errors.Is.
+var ErrNotPrimary = errors.New("not the primary")
+
+// Options configures Connect.
 type Options struct {
-	// Conns is the connection-pool size (default 1). More connections
-	// help when a single TCP stream's serialization becomes the
-	// bottleneck; requests are spread round-robin.
+	// Addrs lists every endpoint — primaries and replicas in any order;
+	// roles are discovered by the handshake, not declared here.
+	Addrs []string
+
+	// PoolSize is the number of connections dialed PER address
+	// (default 1). More connections help when a single TCP stream's
+	// serialization becomes the bottleneck; requests spread round-robin.
+	PoolSize int
+
+	// ReadPreference routes read-only operations (see the constants).
+	ReadPreference ReadPreference
+
+	// MaxStaleness, when positive, is the read-staleness bound declared
+	// to every replica connection: a replica whose replication watermark
+	// is older refuses reads with a redirect instead of serving stale
+	// state. Zero: any replica staleness is acceptable.
+	MaxStaleness time.Duration
+
+	// Timeout bounds each connection attempt (default 5s).
+	Timeout time.Duration
+
+	// Conns is the connection-pool size.
+	//
+	// Deprecated: the old name for PoolSize, honored when PoolSize is
+	// zero; kept one release for migration.
 	Conns int
 
-	// DialTimeout bounds each connection attempt (default 5s).
+	// DialTimeout bounds each connection attempt.
+	//
+	// Deprecated: the old name for Timeout, honored when Timeout is
+	// zero; kept one release for migration.
 	DialTimeout time.Duration
 }
 
-// Client is a pooled, pipelined pnstmd client.
+// Client is a pooled, pipelined pnstmd client with read-preference
+// routing across primaries and replicas.
 type Client struct {
-	conns []*conn
-	next  atomic.Uint64
+	pref      ReadPreference
+	conns     []*conn // every pooled connection (Close)
+	primaries []*conn
+	replicas  []*conn
+	nextP     atomic.Uint64
+	nextR     atomic.Uint64
 }
 
 // conn is one pooled connection with an id-demultiplexed reader.
@@ -64,31 +127,86 @@ type conn struct {
 	nextID atomic.Uint64
 }
 
-// Dial connects the pool.
-func Dial(addr string, opts Options) (*Client, error) {
-	if opts.Conns <= 0 {
-		opts.Conns = 1
+// Connect dials PoolSize connections to every address, handshakes each
+// one, and returns the routing pool. Any address failing to dial or
+// handshake fails the whole Connect (no silently degraded pools).
+func Connect(opts Options) (*Client, error) {
+	if len(opts.Addrs) == 0 {
+		return nil, fmt.Errorf("client: Connect needs at least one address in Options.Addrs")
 	}
-	if opts.DialTimeout <= 0 {
-		opts.DialTimeout = 5 * time.Second
+	pool := opts.PoolSize
+	if pool <= 0 {
+		pool = opts.Conns // deprecated alias
 	}
-	cl := &Client{}
-	for i := 0; i < opts.Conns; i++ {
-		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
-		if err != nil {
-			cl.Close()
-			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	if pool <= 0 {
+		pool = 1
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = opts.DialTimeout // deprecated alias
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	cl := &Client{pref: opts.ReadPreference}
+	for _, addr := range opts.Addrs {
+		for i := 0; i < pool; i++ {
+			nc, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+			}
+			c := &conn{
+				nc:      nc,
+				bw:      bufio.NewWriter(nc),
+				pending: make(map[uint64]chan *server.Response),
+				closed:  make(chan struct{}),
+			}
+			go c.readLoop()
+			info, err := handshake(c, opts.MaxStaleness)
+			if err != nil {
+				cl.Close()
+				c.nc.Close()
+				return nil, fmt.Errorf("client: handshake %s: %w", addr, err)
+			}
+			cl.conns = append(cl.conns, c)
+			if info != nil && info.Role == server.RoleReplica {
+				cl.replicas = append(cl.replicas, c)
+			} else {
+				cl.primaries = append(cl.primaries, c)
+			}
 		}
-		c := &conn{
-			nc:      nc,
-			bw:      bufio.NewWriter(nc),
-			pending: make(map[uint64]chan *server.Response),
-			closed:  make(chan struct{}),
-		}
-		go c.readLoop()
-		cl.conns = append(cl.conns, c)
 	}
 	return cl, nil
+}
+
+// handshake sends the versioned Hello on one connection, declaring the
+// read-staleness bound the server will enforce for that connection's
+// reads. A legacy server rejects the unknown opcode with StatusErr —
+// a well-defined outcome meaning "version 0, no features, primary"
+// (nil info). Transport failures are real errors.
+func handshake(c *conn, maxStaleness time.Duration) (*server.HelloInfo, error) {
+	hello := &server.Hello{Version: server.ProtoVersion}
+	if maxStaleness > 0 {
+		hello.MaxStalenessMs = uint32(maxStaleness.Milliseconds())
+	}
+	resp, err := c.do(&server.Request{Op: server.OpHello, Hello: hello})
+	if err != nil {
+		if resp != nil && resp.Status == server.StatusErr {
+			return nil, nil // legacy peer: no handshake, primary semantics
+		}
+		return nil, err
+	}
+	return server.ParseHelloInfo(resp.Value)
+}
+
+// Dial connects a single-address pool.
+//
+// Deprecated: use Connect with Options.Addrs; Dial is the thin
+// single-address shim kept one release for migration.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.Addrs = []string{addr}
+	return Connect(opts)
 }
 
 // Close tears down every pooled connection; in-flight calls fail.
@@ -99,9 +217,23 @@ func (cl *Client) Close() {
 	}
 }
 
-// pick returns the next pool connection round-robin.
-func (cl *Client) pick() *conn {
-	return cl.conns[cl.next.Add(1)%uint64(len(cl.conns))]
+// pickWrite returns the connection mutations ride: a primary when the
+// pool has one, otherwise any connection — the server is authoritative
+// (a promoted replica accepts; an un-promoted one answers
+// StatusNotPrimary, surfaced as ErrNotPrimary).
+func (cl *Client) pickWrite() *conn {
+	if len(cl.primaries) > 0 {
+		return cl.primaries[cl.nextP.Add(1)%uint64(len(cl.primaries))]
+	}
+	return cl.conns[cl.nextP.Add(1)%uint64(len(cl.conns))]
+}
+
+// pickReplica returns the next replica connection, nil when none.
+func (cl *Client) pickReplica() *conn {
+	if len(cl.replicas) == 0 {
+		return nil
+	}
+	return cl.replicas[cl.nextR.Add(1)%uint64(len(cl.replicas))]
 }
 
 // readLoop demultiplexes responses to their waiting callers.
@@ -149,9 +281,8 @@ func (c *conn) fail(err error) {
 	c.mu.Unlock()
 }
 
-// roundTrip sends req on one pooled connection and waits for its reply.
-func (cl *Client) roundTrip(req *server.Request) (*server.Response, error) {
-	c := cl.pick()
+// do sends req on this connection and waits for its reply.
+func (c *conn) do(req *server.Request) (*server.Response, error) {
 	req.ID = c.nextID.Add(1)
 	ch := make(chan *server.Response, 1)
 
@@ -185,12 +316,47 @@ func (cl *Client) roundTrip(req *server.Request) (*server.Response, error) {
 
 	select {
 	case resp := <-ch:
-		if resp.Status == server.StatusErr {
+		switch resp.Status {
+		case server.StatusErr:
 			return resp, fmt.Errorf("client: server error: %s", resp.Msg)
+		case server.StatusNotPrimary:
+			return resp, fmt.Errorf("client: %s: %w", resp.Msg, ErrNotPrimary)
 		}
 		return resp, nil
 	case <-c.closed:
 		return nil, c.connErr()
+	}
+}
+
+// roundTrip routes a mutating (or primary-affine) request.
+func (cl *Client) roundTrip(req *server.Request) (*server.Response, error) {
+	return cl.pickWrite().do(req)
+}
+
+// roundTripRead routes a read-only request by the pool's read
+// preference. A replica's refusal (staleness, promotion races) or
+// connection failure falls back to a primary except under
+// ReadReplicaRequired, where replicas are the only legal target.
+func (cl *Client) roundTripRead(req *server.Request) (*server.Response, error) {
+	switch cl.pref {
+	case ReadReplicaRequired:
+		c := cl.pickReplica()
+		if c == nil {
+			return nil, fmt.Errorf("client: ReadReplicaRequired but the pool has no replica connection: %w", ErrNotPrimary)
+		}
+		return c.do(req)
+	case ReadPreferReplica:
+		if c := cl.pickReplica(); c != nil {
+			resp, err := c.do(req)
+			if err == nil || len(cl.primaries) == 0 {
+				return resp, err
+			}
+			// Stale or broken replica: retry once on a primary (fresh id).
+			return cl.primaries[cl.nextP.Add(1)%uint64(len(cl.primaries))].do(req)
+		}
+		return cl.pickWrite().do(req)
+	default: // ReadPrimary
+		return cl.pickWrite().do(req)
 	}
 }
 
@@ -204,7 +370,8 @@ func (c *conn) connErr() error {
 // Typed helpers
 // ---------------------------------------------------------------------------
 
-// Ping round-trips a no-op (liveness, warmup).
+// Ping round-trips a no-op (liveness, warmup) on a write-path
+// connection.
 func (cl *Client) Ping() error {
 	_, err := cl.roundTrip(&server.Request{Op: server.OpPing})
 	return err
@@ -212,7 +379,7 @@ func (cl *Client) Ping() error {
 
 // MapGet reads key from the named map.
 func (cl *Client) MapGet(name, key string) ([]byte, bool, error) {
-	resp, err := cl.roundTrip(&server.Request{Op: server.OpMapGet, Name: name, Key: key})
+	resp, err := cl.roundTripRead(&server.Request{Op: server.OpMapGet, Name: name, Key: key})
 	if err != nil {
 		return nil, false, err
 	}
@@ -236,7 +403,7 @@ func (cl *Client) MapDelete(name, key string) (bool, error) {
 
 // MapLen returns the named map's entry count.
 func (cl *Client) MapLen(name string) (int64, error) {
-	resp, err := cl.roundTrip(&server.Request{Op: server.OpMapLen, Name: name})
+	resp, err := cl.roundTripRead(&server.Request{Op: server.OpMapLen, Name: name})
 	if err != nil {
 		return 0, err
 	}
@@ -279,7 +446,7 @@ func (cl *Client) QueuePop(name string) ([]byte, bool, error) {
 
 // QueueLen returns the named queue's length.
 func (cl *Client) QueueLen(name string) (int64, error) {
-	resp, err := cl.roundTrip(&server.Request{Op: server.OpQueueLen, Name: name})
+	resp, err := cl.roundTripRead(&server.Request{Op: server.OpQueueLen, Name: name})
 	if err != nil {
 		return 0, err
 	}
@@ -294,7 +461,7 @@ func (cl *Client) CounterAdd(name string, delta int64) error {
 
 // CounterSum reads the named counter.
 func (cl *Client) CounterSum(name string) (int64, error) {
-	resp, err := cl.roundTrip(&server.Request{Op: server.OpCounterSum, Name: name})
+	resp, err := cl.roundTripRead(&server.Request{Op: server.OpCounterSum, Name: name})
 	if err != nil {
 		return 0, err
 	}
@@ -334,7 +501,9 @@ func (cl *Client) Checkout(stockMap string, co server.Checkout) (ok bool, failed
 	return true, "", nil
 }
 
-// Stats fetches the server's activity snapshot.
+// Stats fetches the server's activity snapshot (primary-affine: the
+// figures describe one process, and the primary's are the ones the
+// benchmarks and verifiers reason about).
 func (cl *Client) Stats() (server.ServerStats, error) {
 	var st server.ServerStats
 	resp, err := cl.roundTrip(&server.Request{Op: server.OpStats})

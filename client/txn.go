@@ -210,7 +210,16 @@ func (t *Txn) Commit() (*TxResults, error) {
 	if len(t.ops) == 0 {
 		return &TxResults{}, nil
 	}
-	resp, err := t.cl.roundTrip(&server.Request{Op: server.OpTx, Tx: &server.Tx{Ops: t.ops}})
+	req := &server.Request{Op: server.OpTx, Tx: &server.Tx{Ops: t.ops}}
+	var resp *server.Response
+	var err error
+	if readOnlyOps(t.ops) {
+		// A pure-read envelope is eligible for replica routing under the
+		// pool's read preference; anything mutating is primary-only.
+		resp, err = t.cl.roundTripRead(req)
+	} else {
+		resp, err = t.cl.roundTrip(req)
+	}
 	if resp != nil {
 		switch resp.Status {
 		case server.StatusRejected:
@@ -224,6 +233,20 @@ func (t *Txn) Commit() (*TxResults, error) {
 		return nil, err
 	}
 	return &TxResults{rs: resp.TxResults}, nil
+}
+
+// readOnlyOps reports whether every sub-op is a pure read or guard —
+// the envelope mutates nothing and may be served by a replica. Keep in
+// sync with the server's mutating-op classification.
+func readOnlyOps(ops []server.TxOp) bool {
+	for _, op := range ops {
+		switch op.Op {
+		case server.OpMapPut, server.OpMapDelete, server.OpMapAdd,
+			server.OpQueuePush, server.OpQueuePop, server.OpCounterAdd:
+			return false
+		}
+	}
+	return true
 }
 
 // TxResults is the per-op outcome vector of a committed (or, partially,

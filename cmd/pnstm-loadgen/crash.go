@@ -80,7 +80,7 @@ func runCrash(cfg genCfg, workers, maxBatch, shards int, dataDir string, killAft
 		return err
 	}
 	go s.Serve() //nolint:errcheck // torn down via Kill below
-	cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+	cl, err := client.Connect(client.Options{Addrs: []string{s.Addr().String()}, PoolSize: cfg.conns})
 	if err != nil {
 		s.Close()
 		return err
@@ -212,7 +212,7 @@ func runCrash(cfg genCfg, workers, maxBatch, shards int, dataDir string, killAft
 	}
 	go s2.Serve() //nolint:errcheck
 	defer s2.Close()
-	cl2, err := client.Dial(s2.Addr().String(), client.Options{Conns: 1})
+	cl2, err := client.Connect(client.Options{Addrs: []string{s2.Addr().String()}, PoolSize: 1})
 	if err != nil {
 		return err
 	}
@@ -389,7 +389,7 @@ func verifyCrashRecovery(cl *client.Client, cfg genCfg, tally *crashTally) ([]st
 // pre-crash process (CI kills pnstmd with a real SIGKILL in between)
 // and stays exact however many load runs the data dir has seen.
 func runRecoveryCheck(addr string, cfg genCfg) error {
-	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	cl, err := client.Connect(client.Options{Addrs: []string{addr}, PoolSize: 1})
 	if err != nil {
 		return err
 	}

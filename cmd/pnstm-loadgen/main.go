@@ -51,6 +51,11 @@
 //	pnstm-loadgen -compare -shards 4 -syncdelay 2ms -min-shard-speedup 1.5
 //	        # shard-scaling A/B: 1-shard vs 4-shard durable server —
 //	        # parallel per-shard group-commit pipelines, fsyncs included
+//	pnstm-loadgen -compare -replica-ab -min-replica-speedup 1.4 -json .
+//	        # replica read-pool A/B: the same pure-read workload against
+//	        # the durable primary alone vs primary + 2 WAL-shipping
+//	        # replicas read with ReadPreferReplica, emitting
+//	        # replica_read_speedup_ratio
 //	pnstm-loadgen -kill-after 3s -json .    # crash-recovery drill:
 //	        hard-kill an embedded durable server mid-load, restart it on
 //	        the same data dir, verify the recovered invariants
@@ -104,6 +109,8 @@ func main() {
 		minAdaptive  = flag.Float64("min-adaptive-ratio", 0, "adaptive compare: fail unless adaptive throughput ≥ this multiple of the best static config (0: report only)")
 		traceCmp     = flag.Bool("trace-ab", false, "with -compare: conflict-tracing overhead A/B — the same batched workload with lifecycle tracing off vs on, emitting tracing_overhead_ratio")
 		maxTraceOvh  = flag.Float64("max-trace-overhead", 0, "trace A/B: fail if untraced/traced throughput exceeds this ratio (0: report only)")
+		replicaCmp   = flag.Bool("replica-ab", false, "with -compare: replica read-pool A/B — the same pure-read workload against the durable primary alone vs primary + 2 WAL-shipping replicas with ReadPreferReplica, emitting replica_read_speedup_ratio")
+		minReplica   = flag.Float64("min-replica-speedup", 0, "replica A/B: fail unless the read pool delivers ≥ this multiple of the primary-only throughput (0: report only)")
 		killAfter    = flag.Duration("kill-after", 0, "crash-recovery drill: hard-kill an embedded durable server after this long under load, restart, verify invariants")
 		dataDir      = flag.String("data-dir", "", "crash mode: data directory to crash and recover on (empty: a temp dir)")
 		recoveryChk  = flag.Bool("recovery-check", false, "verify a restarted pnstmd at -addr holds the recovered-store invariants (conservation, no oversell)")
@@ -157,6 +164,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pnstm-loadgen: -trace-ab requires -compare (the tracing A/B runs embedded servers)")
 		os.Exit(2)
 	}
+	if *replicaCmp && !*compare {
+		fmt.Fprintln(os.Stderr, "pnstm-loadgen: -replica-ab requires -compare (the replica A/B runs embedded servers)")
+		os.Exit(2)
+	}
+	if *compare && *replicaCmp {
+		if err := runReplicaCompare(cfg, *workers, *compareBatch, *syncDelay, *minReplica, *jsonDir, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *compare && *traceCmp {
 		if err := runTraceCompare(cfg, *workers, *compareBatch, *maxTraceOvh, *jsonDir, *name); err != nil {
 			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
@@ -196,7 +214,7 @@ func main() {
 		return
 	}
 
-	cl, err := client.Dial(*addr, client.Options{Conns: cfg.conns})
+	cl, err := client.Connect(client.Options{Addrs: []string{*addr}, PoolSize: cfg.conns})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
 		os.Exit(1)
@@ -377,7 +395,7 @@ func runCompare(cfg genCfg, workers, maxBatch int, fsync bool, syncDelay time.Du
 			return err
 		}
 		go s.Serve() //nolint:errcheck // torn down via Close below
-		cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+		cl, err := client.Connect(client.Options{Addrs: []string{s.Addr().String()}, PoolSize: cfg.conns})
 		if err != nil {
 			s.Close()
 			return err
@@ -515,7 +533,7 @@ func runPersistCompare(cfg genCfg, workers, maxBatch int, jsonDir, name string) 
 			return err
 		}
 		go s.Serve() //nolint:errcheck // torn down via Close below
-		cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+		cl, err := client.Connect(client.Options{Addrs: []string{s.Addr().String()}, PoolSize: cfg.conns})
 		if err != nil {
 			s.Close()
 			return err

@@ -62,7 +62,7 @@ func runShardCompare(cfg genCfg, workers, maxBatch, shards int, syncDelay time.D
 			return err
 		}
 		go s.Serve() //nolint:errcheck // torn down via Close below
-		cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+		cl, err := client.Connect(client.Options{Addrs: []string{s.Addr().String()}, PoolSize: cfg.conns})
 		if err != nil {
 			s.Close()
 			return err

@@ -53,7 +53,7 @@ func runTraceCompare(cfg genCfg, workers, maxBatch int, maxOverhead float64, jso
 				return err
 			}
 			go s.Serve() //nolint:errcheck // torn down via Close below
-			cl, err := client.Dial(s.Addr().String(), client.Options{Conns: cfg.conns})
+			cl, err := client.Connect(client.Options{Addrs: []string{s.Addr().String()}, PoolSize: cfg.conns})
 			if err != nil {
 				s.Close()
 				return err

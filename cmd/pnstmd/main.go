@@ -22,6 +22,9 @@
 //	pnstmd -admin :7456 -adaptive            # Prometheus /metrics, /healthz,
 //	                                         # /readyz, live /config, self-tuning
 //	pnstmd -admin :7456 -admin-debug         # + net/http/pprof under /debug/pprof/
+//	pnstmd -replica-of primary:7455 -admin :7456  # read-only replica tailing the
+//	                                              # primary's WALs; POST /promote
+//	                                              # to fail over
 //	pnstmd -log-format json -log-level debug # structured logs for collectors
 //
 // With -shards N the store is split into N engine partitions by
@@ -101,6 +104,8 @@ func main() {
 		traceSamp  = flag.Int("trace-sample", 0, "record begin/commit lifecycle for 1 in N batches (0: default 8; 1: every batch — full fidelity, higher cost); conflict events are always recorded")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		logFormat  = flag.String("log-format", "text", "log record format: text or json")
+		replicaOf  = flag.String("replica-of", "", "run as a read-only replica tailing the durable primary at this address (incompatible with -data-dir and -serial); POST /promote on the admin listener to fail over")
+		maxStale   = flag.Duration("max-staleness", 0, "replica readiness bound: /readyz turns 503 when the replication watermark lags the primary by more than this (0: default 10s; with -replica-of)")
 	)
 	flag.Parse()
 
@@ -123,28 +128,43 @@ func main() {
 		log.Error("-shards must be in 1..64", "got", *shards)
 		os.Exit(2)
 	}
+	if *replicaOf != "" {
+		if *dataDir != "" {
+			log.Error("-replica-of and -data-dir are incompatible: a replica is in-memory (the primary owns durability)")
+			os.Exit(2)
+		}
+		if *serial {
+			log.Error("-replica-of and -serial are incompatible: replay needs the parallel-nesting runtime")
+			os.Exit(2)
+		}
+	} else if *maxStale != 0 {
+		log.Error("-max-staleness only applies with -replica-of")
+		os.Exit(2)
+	}
 
 	s, err := server.New(server.Config{
-		Addr:            *addr,
-		Shards:          *shards,
-		Workers:         *workers,
-		MaxBatch:        *batch,
-		BatchDelay:      *batchdelay,
-		Serial:          *serial,
-		SharedReads:     *sharedr,
-		MaxInflight:     *inflight,
-		Registry:        stmlib.RegistryConfig{MapBuckets: *buckets, CounterStripes: *stripes},
-		DataDir:         *dataDir,
-		Fsync:           *fsync,
-		WALSyncDelay:    *syncDelay,
-		SnapshotEvery:   *snapEvery,
-		WALSegmentBytes: *walSegment,
-		AdminAddr:       *adminAddr,
-		AdminDebug:      *adminDebug,
-		Adaptive:        *adaptive,
-		DisableTracing:  !*trace,
-		TraceSample:     *traceSamp,
-		Logger:          log,
+		Addr:                *addr,
+		Shards:              *shards,
+		Workers:             *workers,
+		MaxBatch:            *batch,
+		BatchDelay:          *batchdelay,
+		Serial:              *serial,
+		SharedReads:         *sharedr,
+		MaxInflight:         *inflight,
+		Registry:            stmlib.RegistryConfig{MapBuckets: *buckets, CounterStripes: *stripes},
+		DataDir:             *dataDir,
+		Fsync:               *fsync,
+		WALSyncDelay:        *syncDelay,
+		SnapshotEvery:       *snapEvery,
+		WALSegmentBytes:     *walSegment,
+		AdminAddr:           *adminAddr,
+		AdminDebug:          *adminDebug,
+		ReplicaOf:           *replicaOf,
+		ReplicaMaxStaleness: *maxStale,
+		Adaptive:            *adaptive,
+		DisableTracing:      !*trace,
+		TraceSample:         *traceSamp,
+		Logger:              log,
 	})
 	if err != nil {
 		log.Error("boot failed", "err", err)
@@ -166,6 +186,10 @@ func main() {
 	mode := "parallel"
 	if *serial {
 		mode = "serial"
+	}
+	if *replicaOf != "" {
+		log.Info("replica mode", "primary", *replicaOf,
+			"max_staleness_ms", s.ReplicaStatus().MaxStalenessMs)
 	}
 	log.Info("listening", "addr", s.Addr().String(), "shards", *shards, "workers", *workers,
 		"batch", *batch, "delay", *batchdelay, "runtime", mode, "tracing", *trace)

@@ -129,6 +129,13 @@ type Log struct {
 	// CRC-checked, handed to the first Snapshot() call so boot does not
 	// read a whole-store image twice; nil afterwards.
 	snapCache []byte
+
+	// notify is the tail broadcast: closed and replaced under mu whenever
+	// the tail advances (and on Close/Abandon, so blocked followers wake
+	// and observe the closed log). Followers capture it under the SAME
+	// lock acquisition that observed tail — the channel-swap idiom that
+	// makes a missed wakeup impossible.
+	notify chan struct{}
 }
 
 // segRec is one segment's record-walk result, collected during scan.
@@ -149,11 +156,17 @@ func Open(opts Options) (*Log, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{opts: opts}
+	l := &Log{opts: opts, notify: make(chan struct{})}
 	if err := l.scan(); err != nil {
 		return nil, err
 	}
 	return l, nil
+}
+
+// notifyLocked wakes every follower blocked at the tail. Caller holds mu.
+func (l *Log) notifyLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
 }
 
 func segPath(dir string, start uint64) string {
@@ -516,6 +529,7 @@ func (l *Log) Append(body []byte) (uint64, error) {
 	l.tail = lsn
 	l.stats.Appends++
 	l.stats.TailLSN = lsn
+	l.notifyLocked()
 	return lsn, nil
 }
 
@@ -763,6 +777,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.notifyLocked()
 	if l.f != nil {
 		if err := l.f.Sync(); err != nil {
 			l.f.Close()
@@ -786,6 +801,7 @@ func (l *Log) Abandon() {
 		return
 	}
 	l.closed = true
+	l.notifyLocked()
 	if l.f != nil {
 		l.f.Close()
 		l.f = nil

@@ -26,11 +26,27 @@ const adminDrainTimeout = 5 * time.Second
 // otherwise the reason. Not ready once shutdown begins (Close/Kill flip
 // s.closed before anything else, so /readyz turns 503 immediately — a
 // load balancer stops routing before the drain starts losing it
-// requests) and when any shard's WAL has latched shut (the store still
-// serves reads from memory but can no longer accept durable writes).
+// requests), before recovery has loaded the durable state (listener-up
+// is not store-up), when any shard's WAL has latched shut (the store
+// still serves reads from memory but can no longer accept durable
+// writes), and on a replica whose staleness watermark is unknown or
+// beyond Config.ReplicaMaxStaleness — a lagging replica must fall out
+// of the read pool rather than serve arbitrarily old state.
 func (s *Server) Ready() error {
 	if s.closed.Load() {
 		return fmt.Errorf("shutting down")
+	}
+	if !s.recovered.Load() {
+		return fmt.Errorf("recovering")
+	}
+	if s.isReplica() {
+		st, ok := s.repl.staleness()
+		if !ok {
+			return fmt.Errorf("replica syncing: not yet caught up with %s", s.cfg.ReplicaOf)
+		}
+		if st > s.cfg.ReplicaMaxStaleness {
+			return fmt.Errorf("replica stale by %s (bound %s)", st.Round(time.Millisecond), s.cfg.ReplicaMaxStaleness)
+		}
 	}
 	for _, sh := range s.shards {
 		if sh.wal != nil {
@@ -67,6 +83,8 @@ func (s *Server) listenAdmin() error {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/config", s.handleConfig)
+	mux.HandleFunc("/replica", s.handleReplica)
+	mux.HandleFunc("/promote", s.handlePromote)
 	mux.HandleFunc("/debug/hotkeys", s.handleHotKeys)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	if s.cfg.AdminDebug {
@@ -167,6 +185,31 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", "GET, PUT")
 		w.WriteHeader(http.StatusMethodNotAllowed)
 	}
+}
+
+// handleReplica serves the replication watermarks (D41): role, primary
+// and per-shard applied/head LSNs with staleness.
+func (s *Server) handleReplica(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ReplicaStatus())
+}
+
+// handlePromote flips a replica into a primary (D42). POST-only: it is
+// a state change. 409 on a server that is not an unpromoted replica.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.Promote() {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "not a replica (or already promoted)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ReplicaStatus())
 }
 
 // handleHotKeys serves the conflict profiler's ranked table (D36).

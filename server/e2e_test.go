@@ -36,7 +36,7 @@ func startServer(t *testing.T, cfg server.Config) *server.Server {
 
 func dial(t *testing.T, s *server.Server, conns int) *client.Client {
 	t.Helper()
-	cl, err := client.Dial(s.Addr().String(), client.Options{Conns: conns})
+	cl, err := client.Connect(client.Options{Addrs: []string{s.Addr().String()}, PoolSize: conns})
 	if err != nil {
 		t.Fatal(err)
 	}

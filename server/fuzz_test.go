@@ -40,6 +40,8 @@ func fuzzSeedRequests() [][]byte {
 			{Op: OpAssertEq, Name: "sold", Delta: 2},
 			{Op: OpQueuePush, Name: "q", Value: []byte("x")},
 		}}},
+		{ID: 13, Op: OpHello, Hello: &Hello{Version: ProtoVersion, Features: FeatureCrossShard | FeatureReplStream, MaxStalenessMs: 1500}},
+		{ID: 14, Op: OpReplSubscribe, Sub: &ReplSubscribe{Shard: 3, FromLSN: 1 << 40}},
 	}
 	var seeds [][]byte
 	for _, req := range reqs {
@@ -204,6 +206,36 @@ func FuzzClassifyTx(f *testing.F) {
 	})
 }
 
+// FuzzHelloInfoRoundTrip holds the handshake payload codec (D39) to the
+// wire-codec standard. The client feeds server-supplied bytes straight
+// into ParseHelloInfo during Connect, so the decoder must reject or
+// round-trip — a panic here would take down every dial.
+func FuzzHelloInfoRoundTrip(f *testing.F) {
+	f.Add(EncodeHelloInfo(&HelloInfo{Version: ProtoVersion, Features: FeatureCrossShard, Role: RolePrimary, Shards: 1}))
+	f.Add(EncodeHelloInfo(&HelloInfo{
+		Version: ProtoVersion, Features: FeatureCrossShard | FeatureReplStream,
+		Role: RoleReplica, Shards: 16, Primary: "10.0.0.1:7455",
+	}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 15))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		info, err := ParseHelloInfo(payload)
+		if err != nil {
+			return // rejected input: only property is "no panic"
+		}
+		if info.Role != RolePrimary && info.Role != RoleReplica {
+			t.Fatalf("decoder accepted unknown role %d", info.Role)
+		}
+		back, err := ParseHelloInfo(EncodeHelloInfo(info))
+		if err != nil {
+			t.Fatalf("re-encoded hello info does not re-parse: %+v: %v", info, err)
+		}
+		if !reflect.DeepEqual(info, back) {
+			t.Fatalf("hello info round trip diverged:\n  first  %+v\n  second %+v", info, back)
+		}
+	})
+}
+
 func FuzzResponseRoundTrip(f *testing.F) {
 	resps := []*Response{
 		{ID: 1, Status: StatusOK},
@@ -213,6 +245,11 @@ func FuzzResponseRoundTrip(f *testing.F) {
 		}},
 		{ID: 4, Status: StatusErr, Msg: "boom"},
 		{ID: 5, Status: StatusCrossShard, Msg: "2 shards"},
+		{ID: 6, Status: StatusNotPrimary, Msg: "read-only replica; primary is 10.0.0.1:7455"},
+		{ID: 7, Status: StatusOK, Value: EncodeHelloInfo(&HelloInfo{
+			Version: ProtoVersion, Features: FeatureCrossShard | FeatureReplStream,
+			Role: RoleReplica, Shards: 4, Primary: "10.0.0.1:7455",
+		})},
 	}
 	for _, resp := range resps {
 		frame := AppendResponse(nil, resp)
@@ -225,7 +262,7 @@ func FuzzResponseRoundTrip(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if resp.Status == 0 || resp.Status > StatusCrossShard {
+		if resp.Status == 0 || resp.Status > StatusNotPrimary {
 			t.Fatalf("decoder accepted unknown status %d", resp.Status)
 		}
 		for i := range resp.TxResults {

@@ -63,6 +63,68 @@ func newServerObs(s *Server, cfg Config) *serverObs {
 		return float64(len(s.conns))
 	})
 
+	// Replication watermarks (D41). Registered only on replicas; every
+	// closure nil-checks s.repl (it is built after the obs plane).
+	if cfg.ReplicaOf != "" {
+		r.GaugeFunc("pnstm_replica", "1 while serving as a read-only replica, 0 once promoted to primary.",
+			nil, func() float64 {
+				if s.isReplica() {
+					return 1
+				}
+				return 0
+			})
+		for i := 0; i < cfg.Shards; i++ {
+			i := i
+			lbl := metrics.Labels{"shard": strconv.Itoa(i)}
+			sr := func() *shardRepl {
+				if s.repl != nil && i < len(s.repl.shards) {
+					return s.repl.shards[i]
+				}
+				return nil
+			}
+			r.GaugeFunc("pnstm_replica_applied_lsn", "Last WAL record replayed into this shard's local store.", lbl,
+				func() float64 {
+					if sr := sr(); sr != nil {
+						sr.mu.Lock()
+						defer sr.mu.Unlock()
+						return float64(sr.applied)
+					}
+					return 0
+				})
+			r.GaugeFunc("pnstm_replica_head_lsn", "Primary's durable tail for this shard, as last reported.", lbl,
+				func() float64 {
+					if sr := sr(); sr != nil {
+						sr.mu.Lock()
+						defer sr.mu.Unlock()
+						return float64(sr.head)
+					}
+					return 0
+				})
+			r.GaugeFunc("pnstm_replica_staleness_seconds", "Age of this shard's replication watermark (-1 until first caught up).", lbl,
+				func() float64 {
+					if s.repl == nil {
+						return -1
+					}
+					st, ok := s.repl.shardStaleness(i)
+					if !ok {
+						return -1
+					}
+					return st.Seconds()
+				})
+			r.GaugeFunc("pnstm_replica_connected", "1 while this shard's tailing stream to the primary is live.", lbl,
+				func() float64 {
+					if sr := sr(); sr != nil {
+						sr.mu.Lock()
+						defer sr.mu.Unlock()
+						if sr.connected {
+							return 1
+						}
+					}
+					return 0
+				})
+		}
+	}
+
 	// Conflict X-ray (D35–D37). s.prof is built after the shards, so
 	// every closure nil-checks it (a scrape can only arrive later, but
 	// cheap defense beats an ordering invariant).

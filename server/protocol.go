@@ -85,6 +85,23 @@ const (
 	// under Key (absent reads as 0) is ≥ Delta; with Key == "", assert
 	// the named counter's sum is ≥ Delta.
 	OpAssertGE
+
+	// OpHello is the versioned handshake (D40): the client announces its
+	// protocol version, feature bits and read-staleness bound; the server
+	// answers with its own version/features, role (primary or replica),
+	// shard count and — on a replica — the primary's address, encoded in
+	// Response.Value (see EncodeHelloInfo). Optional: a client that never
+	// sends it gets legacy behaviour, and a LEGACY server rejects the
+	// unknown opcode with StatusErr echoing the request ID — which is
+	// itself a well-defined negotiation outcome (no features, primary).
+	OpHello
+	// OpReplSubscribe opens a replication stream (D39): the requester
+	// names a shard and a resume LSN, and the server answers with a
+	// sequence of response frames sharing the request's ID — snapshot
+	// chunks when the resume point was compacted, then record frames as
+	// group commits append, with heartbeats while idle. The stream ends
+	// only with the connection (or a StatusErr frame naming the reason).
+	OpReplSubscribe
 )
 
 // Response statuses.
@@ -105,6 +122,11 @@ const (
 	// Clients surface this as a typed error (client.ErrCrossShard) —
 	// split the transaction or co-locate the structures by name.
 	StatusCrossShard
+	// StatusNotPrimary: the redirect status (D41). A replica refused to
+	// execute a mutation (or a read the caller's staleness bound forbids);
+	// Msg names the primary's address. Clients retry against the primary
+	// or surface client.ErrNotPrimary.
+	StatusNotPrimary
 )
 
 // TxOp is one sub-operation of an OpTx envelope. Op is one of the
@@ -168,6 +190,8 @@ type Request struct {
 	Delta    int64
 	Checkout *Checkout
 	Tx       *Tx
+	Hello    *Hello         // non-nil only for OpHello
+	Sub      *ReplSubscribe // non-nil only for OpReplSubscribe
 }
 
 // Response is one decoded server reply; see the body-layout comment
@@ -320,6 +344,23 @@ func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 			buf = appendU32Bytes(buf, op.Value)
 			buf = appendI64(buf, op.Delta)
 		}
+	}
+	if req.Op == OpHello {
+		h := req.Hello
+		if h == nil {
+			h = &Hello{Version: ProtoVersion}
+		}
+		buf = binary.BigEndian.AppendUint16(buf, h.Version)
+		buf = binary.BigEndian.AppendUint64(buf, h.Features)
+		buf = binary.BigEndian.AppendUint32(buf, h.MaxStalenessMs)
+	}
+	if req.Op == OpReplSubscribe {
+		sub := req.Sub
+		if sub == nil {
+			sub = &ReplSubscribe{}
+		}
+		buf = binary.BigEndian.AppendUint16(buf, sub.Shard)
+		buf = binary.BigEndian.AppendUint64(buf, sub.FromLSN)
 	}
 	// Per-field limits cannot bound the sum (a many-line checkout can
 	// pass each check yet overflow the frame), so enforce the total
@@ -515,10 +556,23 @@ func ParseRequest(frame []byte) (*Request, error) {
 		}
 		req.Tx = tx
 	}
+	if req.Op == OpHello {
+		req.Hello = &Hello{
+			Version:        c.u16(),
+			Features:       c.u64(),
+			MaxStalenessMs: c.u32(),
+		}
+	}
+	if req.Op == OpReplSubscribe {
+		req.Sub = &ReplSubscribe{
+			Shard:   c.u16(),
+			FromLSN: c.u64(),
+		}
+	}
 	if err := c.done(); err != nil {
 		return nil, err
 	}
-	if req.Op == 0 || (req.Op > OpTx && req.Op != OpMapAdd) {
+	if req.Op == 0 || (req.Op > OpTx && req.Op != OpMapAdd && req.Op != OpHello && req.Op != OpReplSubscribe) {
 		return nil, fmt.Errorf("server: unknown opcode %d", req.Op)
 	}
 	if req.Op == OpTx {
@@ -596,7 +650,7 @@ func ParseResponse(frame []byte) (*Response, error) {
 	if err := c.done(); err != nil {
 		return nil, err
 	}
-	if resp.Status == 0 || resp.Status > StatusCrossShard {
+	if resp.Status == 0 || resp.Status > StatusNotPrimary {
 		return nil, fmt.Errorf("server: unknown status %d", resp.Status)
 	}
 	for i := range resp.TxResults {

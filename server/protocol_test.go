@@ -181,7 +181,7 @@ func TestParseRejectsMalformedFrames(t *testing.T) {
 func TestParseResponseRejectsUnknownStatus(t *testing.T) {
 	frame := AppendResponse(nil, &Response{ID: 1, Status: StatusOK})
 	payload := append([]byte{}, frame[4:]...)
-	for _, st := range []uint8{0, StatusCrossShard + 1, 200} {
+	for _, st := range []uint8{0, StatusNotPrimary + 1, 200} {
 		payload[8] = st
 		if _, err := ParseResponse(payload); err == nil {
 			t.Errorf("status %d accepted", st)

@@ -120,6 +120,22 @@ type Config struct {
 	// the wal package default, 64 MiB). Ignored without DataDir.
 	WALSegmentBytes int64
 
+	// ReplicaOf turns the server into a WAL-shipping read replica of the
+	// primary at that address (D39–D42): every shard tails the primary's
+	// log over the wire protocol, replays continuously, serves read-only
+	// envelopes and refuses mutations with StatusNotPrimary. Replicas
+	// are in-memory (the primary owns durability) — incompatible with
+	// DataDir — and need concurrent replay, so incompatible with Serial.
+	// The shard count must match the primary's.
+	ReplicaOf string
+
+	// ReplicaMaxStaleness is the readiness bound for a replica (default
+	// 10s): /readyz reports 503 until every shard has caught up with the
+	// primary and whenever the staleness watermark exceeds this bound —
+	// a load balancer stops routing to a replica that fell behind.
+	// Ignored without ReplicaOf.
+	ReplicaMaxStaleness time.Duration
+
 	// AdminAddr, when set, binds a second HTTP listener serving the
 	// operational plane: GET /metrics (Prometheus text), GET /healthz
 	// (liveness), GET /readyz (readiness: 503 once shutdown begins or a
@@ -185,6 +201,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.TraceSample <= 0 {
 		c.TraceSample = defaultTraceSample
+	}
+	if c.ReplicaOf != "" && c.ReplicaMaxStaleness <= 0 {
+		c.ReplicaMaxStaleness = 10 * time.Second
 	}
 }
 
@@ -311,6 +330,12 @@ type Server struct {
 	ctrlStop chan struct{}
 	ctrlDone chan struct{}
 
+	// repl is the replication engine, non-nil iff Config.ReplicaOf was
+	// set; recovered flips once the store holds its durable state (the
+	// /readyz recovery gate — trivially true on in-memory servers).
+	repl      *replicator
+	recovered atomic.Bool
+
 	adminLn      net.Listener
 	adminSrv     *http.Server
 	adminServing atomic.Bool
@@ -329,6 +354,14 @@ type Server struct {
 // concurrently — before returning.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if cfg.ReplicaOf != "" {
+		if cfg.DataDir != "" {
+			return nil, fmt.Errorf("server: a replica is in-memory (the primary at %s owns durability); drop DataDir", cfg.ReplicaOf)
+		}
+		if cfg.Serial {
+			return nil, fmt.Errorf("server: replica mode replays concurrently with serving; Serial is unsupported")
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		conns:    make(map[net.Conn]struct{}),
@@ -395,6 +428,14 @@ func New(cfg Config) (*Server, error) {
 	s.ctrlStop = make(chan struct{})
 	s.ctrlDone = make(chan struct{})
 	go s.controllerLoop()
+	// The durable state is loaded (openDurability returned): the /readyz
+	// recovery gate opens. On a replica the catch-up gate in Ready()
+	// keeps /readyz at 503 until the tailing loops — started last, so a
+	// dial failure is a retry, not a boot failure — have caught up.
+	s.recovered.Store(true)
+	if cfg.ReplicaOf != "" {
+		s.repl = newReplicator(s, cfg.ReplicaOf)
+	}
 	return s, nil
 }
 
@@ -679,6 +720,9 @@ func (s *Server) Close() {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	if s.repl != nil {
+		s.repl.stop()
+	}
 	s.stopController()
 	s.prof.close()
 	if s.ckStop != nil {
@@ -754,6 +798,9 @@ func (s *Server) Kill() {
 		s.ln.Close()
 	}
 	s.closeAdmin(false) // hard stop: a crash does not drain scrapes
+	if s.repl != nil {
+		s.repl.stop()
+	}
 	s.stopController()
 	s.prof.close()
 	if s.ckStop != nil {
@@ -1060,9 +1107,11 @@ func (s *Server) handleConn(nc net.Conn) {
 	out := make(chan Response, 256)
 	connClosed := make(chan struct{}) // reader gone: stop routing responses here
 	writerDone := make(chan struct{}) // writer gone: never block the batcher on a dead conn
+	var streams sync.WaitGroup        // replication streams serving this conn
 	defer func() {
 		close(connClosed)
 		<-writerDone
+		streams.Wait()
 	}()
 
 	go func() {
@@ -1107,6 +1156,10 @@ func (s *Server) handleConn(nc net.Conn) {
 		}
 	}
 
+	// connMaxStale is the connection's read-staleness bound, declared by
+	// its Hello (zero: none). Only the reader loop touches it.
+	var connMaxStale time.Duration
+
 	br := bufio.NewReader(nc)
 	for {
 		frame, err := ReadFrame(br)
@@ -1127,9 +1180,34 @@ func (s *Server) handleConn(nc net.Conn) {
 			deliver(Response{ID: id, Status: StatusErr, Msg: err.Error()})
 			continue
 		}
+		if s.isReplica() {
+			if resp, refused := s.replicaGate(req, connMaxStale); refused {
+				deliver(resp)
+				continue
+			}
+		}
 		switch req.Op {
 		case OpPing:
 			deliver(Response{ID: req.ID, Status: StatusOK})
+		case OpHello:
+			if req.Hello != nil && req.Hello.MaxStalenessMs > 0 {
+				connMaxStale = time.Duration(req.Hello.MaxStalenessMs) * time.Millisecond
+			}
+			info := &HelloInfo{Version: ProtoVersion, Features: FeatureCrossShard, Role: RolePrimary, Shards: uint16(len(s.shards))}
+			if s.cfg.DataDir != "" {
+				info.Features |= FeatureReplStream
+			}
+			if s.isReplica() {
+				info.Role = RoleReplica
+				info.Primary = s.cfg.ReplicaOf
+			}
+			deliver(Response{ID: req.ID, Status: StatusOK, Value: EncodeHelloInfo(info)})
+		case OpReplSubscribe:
+			streams.Add(1)
+			go func(req *Request) {
+				defer streams.Done()
+				s.serveReplStream(req, deliver, connClosed)
+			}(req)
 		case OpStats:
 			blob, err := json.Marshal(s.Stats())
 			if err != nil {
