@@ -468,6 +468,106 @@ func (cl *Client) CounterSum(name string) (int64, error) {
 	return resp.Num, nil
 }
 
+// SortedPut stores value under key in the named sorted map.
+func (cl *Client) SortedPut(name, key string, value []byte) error {
+	_, err := cl.Txn().SortedPut(name, key, value).Commit()
+	return err
+}
+
+// SortedPutTTL stores value under key in the named sorted map, expiring
+// at deadline (UnixNano); deadline <= 0 stores without a deadline.
+func (cl *Client) SortedPutTTL(name, key string, value []byte, deadline int64) error {
+	_, err := cl.Txn().SortedPutTTL(name, key, value, deadline).Commit()
+	return err
+}
+
+// SortedGet reads key from the named sorted map (expired entries read
+// as absent).
+func (cl *Client) SortedGet(name, key string) ([]byte, bool, error) {
+	res, err := cl.Txn().SortedGet(name, key).Commit()
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Bytes(0), res.Found(0), nil
+}
+
+// SortedDelete removes key from the named sorted map; reports whether
+// it was present.
+func (cl *Client) SortedDelete(name, key string) (bool, error) {
+	res, err := cl.Txn().SortedDelete(name, key).Commit()
+	if err != nil {
+		return false, err
+	}
+	return res.Found(0), nil
+}
+
+// RangeScan reads the live entries of [lo, hi) from the named sorted
+// map in key order, at most limit entries (0: server cap; hi == ""
+// scans to the end of the key space).
+func (cl *Client) RangeScan(name, lo, hi string, limit int) ([]Entry, error) {
+	res, err := cl.Txn().RangeScan(name, lo, hi, limit).Commit()
+	if err != nil {
+		return nil, err
+	}
+	return res.Entries(0)
+}
+
+// RangeCount counts the live entries of [lo, hi) in the named sorted
+// map (hi == "" counts to the end).
+func (cl *Client) RangeCount(name, lo, hi string) (int64, error) {
+	res, err := cl.Txn().RangeCount(name, lo, hi).Commit()
+	if err != nil {
+		return 0, err
+	}
+	return res.Num(0), nil
+}
+
+// MapPutTTL stores value under key in the named map, expiring at
+// deadline (UnixNano); deadline <= 0 stores without a deadline.
+func (cl *Client) MapPutTTL(name, key string, value []byte, deadline int64) error {
+	_, err := cl.Txn().MapPutTTL(name, key, value, deadline).Commit()
+	return err
+}
+
+// LeaseConsume pops one element from the named queue under a lease
+// expiring at deadline (at-least-once delivery: an unacked lease is
+// requeued by the server's reaper after the deadline). ok is false when
+// the queue had nothing to lease.
+func (cl *Client) LeaseConsume(name string, deadline int64) (id uint64, value []byte, ok bool, err error) {
+	res, err := cl.Txn().LeaseConsume(name, deadline).Commit()
+	if err != nil {
+		return 0, nil, false, err
+	}
+	id, value, ok = res.Lease(0)
+	return id, value, ok, nil
+}
+
+// LeaseAck retires lease id. ok is false — with nil error — when the
+// lease no longer existed (its deadline passed and the element was
+// reclaimed for redelivery): the work will run again, which is the
+// at-least-once contract. To bundle the ack atomically with its side
+// effects, build a Txn with LeaseAck and the other ops instead.
+func (cl *Client) LeaseAck(name string, id uint64) (bool, error) {
+	_, err := cl.Txn().LeaseAck(name, id).Commit()
+	var aborted *ErrTxAborted
+	if errors.As(err, &aborted) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// LeaseNack returns lease id's element to the queue tail immediately.
+func (cl *Client) LeaseNack(name string, id uint64) (bool, error) {
+	res, err := cl.Txn().LeaseNack(name, id).Commit()
+	if err != nil {
+		return false, err
+	}
+	return res.Found(0), nil
+}
+
 // Checkout atomically decrements every line's stock in the named map and
 // credits the checkout's counters. ok is false — with nil error — when
 // the server rejected the order for insufficient stock (the whole

@@ -186,6 +186,96 @@ func (t *Txn) AssertCounterGE(name string, min int64) *Txn {
 	return t.add(server.TxOp{Op: server.OpAssertGE, Name: name, Delta: min})
 }
 
+// SortedGet reads key from the named sorted map (result: Bytes/Found;
+// an expired-but-unreaped entry reads as absent).
+func (t *Txn) SortedGet(name, key string) *Txn {
+	return t.add(server.TxOp{Op: server.OpSortedGet, Name: name, Key: key})
+}
+
+// SortedPut stores value under key in the named sorted map.
+func (t *Txn) SortedPut(name, key string, value []byte) *Txn {
+	return t.add(server.TxOp{Op: server.OpSortedPut, Name: name, Key: key, Value: value})
+}
+
+// SortedPutTTL stores value under key expiring at deadline (UnixNano).
+// deadline <= 0 stores without a deadline. Reads hide the entry once
+// the deadline passes; the server's reaper removes it physically.
+func (t *Txn) SortedPutTTL(name, key string, value []byte, deadline int64) *Txn {
+	return t.add(server.TxOp{Op: server.OpSortedPutTTL, Name: name, Key: key, Value: value, Delta: deadline})
+}
+
+// SortedDelete removes key from the named sorted map (result: Found).
+func (t *Txn) SortedDelete(name, key string) *Txn {
+	return t.add(server.TxOp{Op: server.OpSortedDelete, Name: name, Key: key})
+}
+
+// SortedLen reads the named sorted map's physical entry count —
+// expired-but-unreaped entries included (result: Num).
+func (t *Txn) SortedLen(name string) *Txn {
+	return t.add(server.TxOp{Op: server.OpSortedLen, Name: name})
+}
+
+// RangeScan reads the live entries of [lo, hi) from the named sorted
+// map in key order, at most limit entries (0: server cap). hi == ""
+// scans to the end of the key space. Result: Entries/Num. The server
+// executes the scan as parallel-nested children over key subranges, so
+// a conflicting point write restarts only the child whose subrange it
+// hit. Large ranges page: pass the last returned key + "\x00" as the
+// next lo.
+func (t *Txn) RangeScan(name, lo, hi string, limit int) *Txn {
+	return t.add(server.TxOp{Op: server.OpRangeScan, Name: name, Key: lo, Value: []byte(hi), Delta: int64(limit)})
+}
+
+// RangeCount counts the live entries of [lo, hi) — hi == "" counts to
+// the end — without materializing values (result: Num).
+func (t *Txn) RangeCount(name, lo, hi string) *Txn {
+	return t.add(server.TxOp{Op: server.OpRangeCount, Name: name, Key: lo, Value: []byte(hi)})
+}
+
+// MapPutTTL stores value under key in the named map expiring at
+// deadline (UnixNano); deadline <= 0 stores without a deadline.
+func (t *Txn) MapPutTTL(name, key string, value []byte, deadline int64) *Txn {
+	return t.add(server.TxOp{Op: server.OpMapPutTTL, Name: name, Key: key, Value: value, Delta: deadline})
+}
+
+// LeaseConsume pops one element from the named queue under a lease
+// expiring at deadline (UnixNano): the element leaves the queue but is
+// requeued by the server's reaper if the lease is neither acked nor
+// nacked by the deadline — at-least-once delivery. Result: Found
+// whether an element was available, Lease/Num the lease id, Bytes the
+// payload.
+func (t *Txn) LeaseConsume(name string, deadline int64) *Txn {
+	return t.add(server.TxOp{Op: server.OpLeaseConsume, Name: name, Delta: deadline})
+}
+
+// LeaseAck retires lease id — the element is done and never redelivered.
+// GUARD-LIKE: if the lease no longer exists (its deadline passed and the
+// reaper reclaimed it) the WHOLE transaction aborts with ErrTxAborted,
+// so an ack bundled with its side effects commits exactly once per
+// delivery.
+func (t *Txn) LeaseAck(name string, id uint64) *Txn {
+	return t.add(server.TxOp{Op: server.OpLeaseAck, Name: name, Delta: int64(id)})
+}
+
+// LeaseNack gives lease id's element back to the queue tail immediately
+// (result: Found — false when the lease was already reclaimed, which is
+// not an error: the element is back in the queue either way).
+func (t *Txn) LeaseNack(name string, id uint64) *Txn {
+	return t.add(server.TxOp{Op: server.OpLeaseNack, Name: name, Delta: int64(id)})
+}
+
+// LeaseReclaim requeues every lease of the named queue whose deadline
+// is <= cutoff (result: Num = how many). Normally the server's reaper
+// does this; explicit reclaim suits tests and external schedulers.
+func (t *Txn) LeaseReclaim(name string, cutoff int64) *Txn {
+	return t.add(server.TxOp{Op: server.OpLeaseReclaim, Name: name, Delta: cutoff})
+}
+
+// LeaseLen reads the named queue's outstanding-lease count (result: Num).
+func (t *Txn) LeaseLen(name string) *Txn {
+	return t.add(server.TxOp{Op: server.OpLeaseLen, Name: name})
+}
+
 func (t *Txn) fail(err error) {
 	if t.err == nil {
 		t.err = err
@@ -242,7 +332,11 @@ func readOnlyOps(ops []server.TxOp) bool {
 	for _, op := range ops {
 		switch op.Op {
 		case server.OpMapPut, server.OpMapDelete, server.OpMapAdd,
-			server.OpQueuePush, server.OpQueuePop, server.OpCounterAdd:
+			server.OpQueuePush, server.OpQueuePop, server.OpCounterAdd,
+			server.OpSortedPut, server.OpSortedPutTTL, server.OpSortedDelete,
+			server.OpMapPutTTL, server.OpExpire, server.OpSortedExpire,
+			server.OpLeaseConsume, server.OpLeaseAck, server.OpLeaseNack,
+			server.OpLeaseReclaim:
 			return false
 		}
 	}
@@ -289,4 +383,35 @@ func (r *TxResults) Int(i int) (v int64, ok bool, err error) {
 	}
 	v, err = server.DecodeInt64(res.Value)
 	return v, true, err
+}
+
+// Entry is one decoded RangeScan result: a key and its value, in key
+// order within the scan.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// Entries decodes op i's RangeScan result into its ordered entry list.
+func (r *TxResults) Entries(i int) ([]Entry, error) {
+	res := r.at(i)
+	if len(res.Value) == 0 {
+		return nil, nil
+	}
+	kvs, err := server.DecodeKVs(res.Value)
+	if err != nil {
+		return nil, fmt.Errorf("client: range scan result: %w", err)
+	}
+	out := make([]Entry, len(kvs))
+	for j, kv := range kvs {
+		out[j] = Entry{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+// Lease reports op i's LeaseConsume outcome: the lease id, the leased
+// payload and whether an element was available at all.
+func (r *TxResults) Lease(i int) (id uint64, value []byte, ok bool) {
+	res := r.at(i)
+	return uint64(res.Num), res.Value, res.Found
 }

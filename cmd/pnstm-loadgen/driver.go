@@ -38,9 +38,9 @@ func (c *genCfg) runsCheckout() bool {
 
 func (c *genCfg) fillDefaults() error {
 	switch c.workload {
-	case "readmap", "queue", "counter", "checkout", "mixed", "txmix", "crossshard", "phases", "hotkey":
+	case "readmap", "queue", "counter", "checkout", "mixed", "txmix", "crossshard", "phases", "hotkey", "pipeline":
 	default:
-		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed, txmix, crossshard, phases or hotkey)", c.workload)
+		return fmt.Errorf("unknown workload %q (want readmap, queue, counter, checkout, mixed, txmix, crossshard, phases, hotkey or pipeline)", c.workload)
 	}
 	if c.concurrency <= 0 {
 		c.concurrency = 16
@@ -146,6 +146,14 @@ type driver struct {
 	// goroutine shares it without synchronization.
 	hotCDF []float64
 
+	// pipeline tallies (D45): produced/acked mirror the store's own
+	// produced/done counters (each moved in the same envelope as its
+	// queue mutation); abandoned counts leases deliberately walked away
+	// from for the reaper to requeue.
+	pipeProduced  atomic.Int64
+	pipeAcked     atomic.Int64
+	pipeAbandoned atomic.Int64
+
 	// base snapshots the server state right after setup so verify()
 	// compares deltas: a long-lived pnstmd carries counters and queue
 	// contents from earlier runs.
@@ -156,6 +164,7 @@ type driver struct {
 		sold     int64
 		revenue  int64
 		txQueues int64
+		pipeDone int64
 	}
 }
 
@@ -313,6 +322,11 @@ func (d *driver) setup() error {
 	if c.workload == "hotkey" {
 		d.hotCDF = zipfCDF(c.keys, hotKeyExponent)
 	}
+	if c.workload == "pipeline" {
+		if err := d.setupPipeline(); err != nil {
+			return err
+		}
+	}
 	if c.workload == "crossshard" {
 		shards := d.serverShards()
 		d.acctPartners = make([]int, acctMaps)
@@ -451,6 +465,8 @@ func (d *driver) op(rng *rand.Rand) error {
 		return d.opPhases(rng)
 	case "hotkey":
 		return d.opHotKey(rng)
+	case "pipeline":
+		return d.opPipeline(rng)
 	}
 	return fmt.Errorf("unreachable workload")
 }
@@ -812,6 +828,9 @@ func (d *driver) verify() []string {
 		if want := int64(acctMaps) * int64(acctPerMap) * acctInitial; total != want {
 			fail("ledger total %d, want %d: a cross-shard transfer split", total, want)
 		}
+	}
+	if c.workload == "pipeline" {
+		out = append(out, d.verifyPipeline()...)
 	}
 	if c.runsCheckout() {
 		var remaining int64

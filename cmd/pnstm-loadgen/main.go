@@ -82,7 +82,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:7455", "pnstmd address")
-		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout, mixed, txmix, crossshard, phases or hotkey")
+		workload    = flag.String("workload", "mixed", "readmap, queue, counter, checkout, mixed, txmix, crossshard, phases, hotkey or pipeline")
 		concurrency = flag.Int("concurrency", 16, "issuing goroutines")
 		conns       = flag.Int("conns", 4, "pooled client connections")
 		duration    = flag.Duration("duration", 5*time.Second, "measurement window")
@@ -111,6 +111,8 @@ func main() {
 		maxTraceOvh  = flag.Float64("max-trace-overhead", 0, "trace A/B: fail if untraced/traced throughput exceeds this ratio (0: report only)")
 		replicaCmp   = flag.Bool("replica-ab", false, "with -compare: replica read-pool A/B — the same pure-read workload against the durable primary alone vs primary + 2 WAL-shipping replicas with ReadPreferReplica, emitting replica_read_speedup_ratio")
 		minReplica   = flag.Float64("min-replica-speedup", 0, "replica A/B: fail unless the read pool delivers ≥ this multiple of the primary-only throughput (0: report only)")
+		rangescanCmp = flag.Bool("rangescan-ab", false, "with -compare: parallel-subrange scan A/B — scanners vs score writers on one sorted map, registry fanout 1 vs the default, emitting rangescan_speedup_ratio")
+		minRangescan = flag.Float64("min-rangescan-speedup", 0, "rangescan A/B: fail unless parallel-subrange scans deliver ≥ this multiple of the sequential-scan throughput (0: report only)")
 		killAfter    = flag.Duration("kill-after", 0, "crash-recovery drill: hard-kill an embedded durable server after this long under load, restart, verify invariants")
 		dataDir      = flag.String("data-dir", "", "crash mode: data directory to crash and recover on (empty: a temp dir)")
 		recoveryChk  = flag.Bool("recovery-check", false, "verify a restarted pnstmd at -addr holds the recovered-store invariants (conservation, no oversell)")
@@ -167,6 +169,17 @@ func main() {
 	if *replicaCmp && !*compare {
 		fmt.Fprintln(os.Stderr, "pnstm-loadgen: -replica-ab requires -compare (the replica A/B runs embedded servers)")
 		os.Exit(2)
+	}
+	if *rangescanCmp && !*compare {
+		fmt.Fprintln(os.Stderr, "pnstm-loadgen: -rangescan-ab requires -compare (the scan A/B runs embedded servers)")
+		os.Exit(2)
+	}
+	if *compare && *rangescanCmp {
+		if err := runRangeScanCompare(cfg, *workers, *compareBatch, *syncDelay, *minRangescan, *jsonDir, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "pnstm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *compare && *replicaCmp {
 		if err := runReplicaCompare(cfg, *workers, *compareBatch, *syncDelay, *minReplica, *jsonDir, *name); err != nil {

@@ -102,6 +102,7 @@ func main() {
 		adaptive   = flag.Bool("adaptive", false, "adaptive controller: walk each shard's inflight/fanout from observed abort rate and batch occupancy (togglable live via PUT /config)")
 		trace      = flag.Bool("trace", true, "conflict X-ray: record transaction-lifecycle events for /debug/hotkeys, /debug/trace and crisis dumps (togglable live via PUT /config)")
 		traceSamp  = flag.Int("trace-sample", 0, "record begin/commit lifecycle for 1 in N batches (0: default 8; 1: every batch — full fidelity, higher cost); conflict events are always recorded")
+		reapEvery  = flag.Duration("reap-interval", 5*time.Second, "TTL/lease reaper cadence: physically remove expired map/sorted-map entries and requeue overdue queue leases (0 disables; primary only — replicas replay the primary's reaps)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		logFormat  = flag.String("log-format", "text", "log record format: text or json")
 		replicaOf  = flag.String("replica-of", "", "run as a read-only replica tailing the durable primary at this address (incompatible with -data-dir and -serial); POST /promote on the admin listener to fail over")
@@ -162,6 +163,7 @@ func main() {
 		ReplicaOf:           *replicaOf,
 		ReplicaMaxStaleness: *maxStale,
 		Adaptive:            *adaptive,
+		ReapInterval:        *reapEvery,
 		DisableTracing:      !*trace,
 		TraceSample:         *traceSamp,
 		Logger:              log,

@@ -527,6 +527,13 @@ func txGroupKey(op *TxOp) string {
 			return "m\x00" + op.Name
 		}
 		return "c\x00" + op.Name
+	case OpSortedGet, OpSortedPut, OpSortedPutTTL, OpSortedDelete, OpSortedLen,
+		OpRangeScan, OpRangeCount, OpSortedExpire:
+		return "s\x00" + op.Name
+	case OpMapPutTTL, OpExpire:
+		return "m\x00" + op.Name
+	case OpLeaseConsume, OpLeaseAck, OpLeaseNack, OpLeaseReclaim, OpLeaseLen:
+		return "q\x00" + op.Name
 	}
 	return "?"
 }
@@ -705,11 +712,79 @@ func applyTxOp(c *pnstm.Ctx, reg *stmlib.Registry, op *TxOp, res *TxResult) (msg
 				return fmt.Sprintf("assert: map %q[%q] = %d, want >= %d", op.Name, op.Key, res.Num, op.Delta), errRejected
 			}
 		}
+	case OpSortedGet:
+		res.Value, res.Found = reg.SortedMap(op.Name).Get(c, op.Key)
+	case OpSortedPut:
+		reg.SortedMap(op.Name).Put(c, op.Key, op.Value)
+	case OpSortedPutTTL:
+		reg.SortedMap(op.Name).PutTTL(c, op.Key, op.Value, op.Delta)
+	case OpSortedDelete:
+		res.Found = reg.SortedMap(op.Name).Delete(c, op.Key)
+	case OpSortedLen:
+		res.Num = int64(reg.SortedMap(op.Name).Len(c))
+	case OpRangeScan:
+		// The sorted map fans the scan into parallel-nested children per
+		// leaf subrange; a conflicting point write restarts only the one
+		// child whose subrange it hit. The entry cap keeps the result
+		// inside a response frame — scans are reads (never logged), so
+		// clamping is invisible to replay.
+		limit := int(op.Delta)
+		if limit <= 0 || limit > maxRangeScanEntries {
+			limit = maxRangeScanEntries
+		}
+		var es []stmlib.SortedEntry[string, []byte]
+		if len(op.Value) == 0 {
+			es = reg.SortedMap(op.Name).RangeFrom(c, op.Key, limit)
+		} else {
+			es = reg.SortedMap(op.Name).RangeScan(c, op.Key, string(op.Value), limit)
+		}
+		kvs := make([]KVEntry, len(es))
+		for i, e := range es {
+			kvs[i] = KVEntry{Key: e.Key, Value: e.Value}
+		}
+		res.Num = int64(len(kvs))
+		res.Value = AppendKVs(nil, kvs)
+	case OpRangeCount:
+		if len(op.Value) == 0 {
+			res.Num = int64(reg.SortedMap(op.Name).RangeCountFrom(c, op.Key))
+		} else {
+			res.Num = int64(reg.SortedMap(op.Name).RangeCount(c, op.Key, string(op.Value)))
+		}
+	case OpMapPutTTL:
+		reg.Map(op.Name).PutTTL(c, op.Key, op.Value, op.Delta)
+	case OpExpire:
+		res.Found = reg.Map(op.Name).ExpireThrough(c, op.Key, op.Delta)
+	case OpSortedExpire:
+		res.Found = reg.SortedMap(op.Name).ExpireThrough(c, op.Key, op.Delta)
+	case OpLeaseConsume:
+		id, v, ok := reg.Queue(op.Name).ConsumeLease(c, op.Delta)
+		res.Num, res.Value, res.Found = int64(id), v, ok
+	case OpLeaseAck:
+		// Guard-like: acking a lease that no longer exists (the reaper
+		// reclaimed it and the element was re-delivered) rejects the WHOLE
+		// envelope, so an ack bundled with its side effects commits
+		// atomically exactly once per delivery.
+		if !reg.Queue(op.Name).Ack(c, uint64(op.Delta)) {
+			res.Status = StatusRejected
+			return fmt.Sprintf("ack: queue %q lease %d gone (expired and reclaimed?)", op.Name, op.Delta), errRejected
+		}
+		res.Found = true
+	case OpLeaseNack:
+		res.Found = reg.Queue(op.Name).Nack(c, uint64(op.Delta))
+	case OpLeaseReclaim:
+		res.Num = int64(reg.Queue(op.Name).ReclaimExpired(c, op.Delta))
+	case OpLeaseLen:
+		res.Num = int64(reg.Queue(op.Name).LeaseLen(c))
 	default:
 		return "", fmt.Errorf("invalid sub-opcode %d", op.Op)
 	}
 	return "", err
 }
+
+// maxRangeScanEntries bounds one OpRangeScan result so the encoded KV
+// list cannot outgrow a response frame; clients page with the last key
+// as the next lo bound.
+const maxRangeScanEntries = 8192
 
 // judgeCounterGuard evaluates a counter guard against an observed sum —
 // the ONE implementation shared by the single-shard execution path

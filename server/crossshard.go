@@ -434,10 +434,17 @@ func crossWriteSlice(ops []TxOp, slice []sliceItem, merged []TxResult) *Request 
 		}
 		op := ops[it.idx]
 		switch op.Op {
-		case OpMapPut, OpMapAdd, OpQueuePush, OpCounterAdd:
+		case OpMapPut, OpMapAdd, OpQueuePush, OpCounterAdd,
+			OpSortedPut, OpSortedPutTTL, OpMapPutTTL:
 			sub = append(sub, op)
-		case OpMapDelete, OpQueuePop:
+		case OpMapDelete, OpQueuePop,
+			OpSortedDelete, OpExpire, OpSortedExpire,
+			OpLeaseConsume, OpLeaseAck, OpLeaseNack:
 			if merged[it.idx].Found {
+				sub = append(sub, op)
+			}
+		case OpLeaseReclaim:
+			if merged[it.idx].Num > 0 {
 				sub = append(sub, op)
 			}
 		}

@@ -42,6 +42,27 @@ func fuzzSeedRequests() [][]byte {
 		}}},
 		{ID: 13, Op: OpHello, Hello: &Hello{Version: ProtoVersion, Features: FeatureCrossShard | FeatureReplStream, MaxStalenessMs: 1500}},
 		{ID: 14, Op: OpReplSubscribe, Sub: &ReplSubscribe{Shard: 3, FromLSN: 1 << 40}},
+		// Second-generation sub-ops (D45): sorted maps and ranges…
+		{ID: 15, Op: OpTx, Tx: &Tx{Ops: []TxOp{
+			{Op: OpSortedPut, Name: "board", Key: "p1", Value: []byte("1")},
+			{Op: OpSortedPutTTL, Name: "board", Key: "p2", Value: []byte("2"), Delta: 1 << 60},
+			{Op: OpSortedGet, Name: "board", Key: "p1"},
+			{Op: OpSortedDelete, Name: "board", Key: "p0"},
+			{Op: OpRangeScan, Name: "board", Key: "a", Value: []byte("z"), Delta: 100},
+			{Op: OpRangeCount, Name: "board", Key: "a"},
+			{Op: OpSortedLen, Name: "board"},
+			{Op: OpSortedExpire, Name: "board", Key: "p2", Delta: 1 << 61},
+		}}},
+		// …and TTLs plus queue leases.
+		{ID: 16, Op: OpTx, Tx: &Tx{Ops: []TxOp{
+			{Op: OpMapPutTTL, Name: "sessions", Key: "s1", Value: []byte("tok"), Delta: 1 << 60},
+			{Op: OpExpire, Name: "sessions", Key: "s0", Delta: 1 << 59},
+			{Op: OpLeaseConsume, Name: "jobs", Delta: 1 << 60},
+			{Op: OpLeaseAck, Name: "jobs", Delta: 7},
+			{Op: OpLeaseNack, Name: "jobs", Delta: 8},
+			{Op: OpLeaseReclaim, Name: "jobs", Delta: 1 << 60},
+			{Op: OpLeaseLen, Name: "jobs"},
+		}}},
 	}
 	var seeds [][]byte
 	for _, req := range reqs {
@@ -236,6 +257,40 @@ func FuzzHelloInfoRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzKVListRoundTrip holds the range-scan result codec to the wire
+// standard: DecodeKVs feeds client-visible bytes (TxResults Value slots)
+// straight into user code, so it must reject or round-trip, never panic
+// or over-read — including against inflated count prefixes.
+func FuzzKVListRoundTrip(f *testing.F) {
+	f.Add(AppendKVs(nil, nil))
+	f.Add(AppendKVs(nil, []KVEntry{{Key: "k", Value: []byte("v")}}))
+	f.Add(AppendKVs(nil, []KVEntry{
+		{Key: "", Value: nil},
+		{Key: "p2", Value: bytes.Repeat([]byte{7}, 100)},
+	}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // inflated count, no entries
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x00}, 9))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		kvs, err := DecodeKVs(payload)
+		if err != nil {
+			return // rejected input: only property is "no panic"
+		}
+		again, err := DecodeKVs(AppendKVs(nil, kvs))
+		if err != nil {
+			t.Fatalf("re-encoded KV list does not re-decode: %v", err)
+		}
+		if len(again) != len(kvs) {
+			t.Fatalf("KV list round trip changed length: %d != %d", len(again), len(kvs))
+		}
+		for i := range kvs {
+			if kvs[i].Key != again[i].Key || !bytes.Equal(kvs[i].Value, again[i].Value) {
+				t.Fatalf("KV entry %d diverged: %+v != %+v", i, kvs[i], again[i])
+			}
+		}
+	})
+}
+
 func FuzzResponseRoundTrip(f *testing.F) {
 	resps := []*Response{
 		{ID: 1, Status: StatusOK},
@@ -250,6 +305,15 @@ func FuzzResponseRoundTrip(f *testing.F) {
 			Version: ProtoVersion, Features: FeatureCrossShard | FeatureReplStream,
 			Role: RoleReplica, Shards: 4, Primary: "10.0.0.1:7455",
 		})},
+		// D45 result vectors: a range scan's KV list riding a sub-result
+		// Value, and a lease grant (id in Num, payload in Value).
+		{ID: 8, Status: StatusOK, TxResults: []TxResult{
+			{Status: StatusOK, Num: 2, Value: AppendKVs(nil, []KVEntry{
+				{Key: "p1", Value: []byte("one")},
+				{Key: "p2", Value: []byte("two")},
+			})},
+			{Status: StatusOK, Found: true, Num: 41, Value: []byte("job")},
+		}},
 	}
 	for _, resp := range resps {
 		frame := AppendResponse(nil, resp)

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"pnstm/internal/wal"
+	"pnstm/stmlib"
+)
+
+// encodeImageV1 renders the pre-v2 snapshot payload (maps, queues,
+// counters, trailing GSN watermark — no magic, no version byte, no
+// sorted/TTL/lease blocks), byte-for-byte what the previous release
+// wrote. Kept in the tests as the frozen reference for back-compat.
+func encodeImageV1(img *stmlib.RegistryImage, maxGSN uint64) []byte {
+	var buf []byte
+	mapNames := sortedKeys(img.Maps)
+	buf = appendU32(buf, uint32(len(mapNames)))
+	for _, name := range mapNames {
+		buf = appendU16Str(buf, name)
+		entries := img.Maps[name]
+		keys := sortedKeys(entries)
+		buf = appendU32(buf, uint32(len(keys)))
+		for _, k := range keys {
+			buf = appendU16Str(buf, k)
+			buf = appendU32Bytes(buf, entries[k])
+		}
+	}
+	queueNames := sortedKeys(img.Queues)
+	buf = appendU32(buf, uint32(len(queueNames)))
+	for _, name := range queueNames {
+		buf = appendU16Str(buf, name)
+		elems := img.Queues[name]
+		buf = appendU32(buf, uint32(len(elems)))
+		for _, v := range elems {
+			buf = appendU32Bytes(buf, v)
+		}
+	}
+	counterNames := sortedKeys(img.Counters)
+	buf = appendU32(buf, uint32(len(counterNames)))
+	for _, name := range counterNames {
+		buf = appendU16Str(buf, name)
+		buf = appendI64(buf, img.Counters[name])
+	}
+	return binary.BigEndian.AppendUint64(buf, maxGSN)
+}
+
+// TestImageV2RoundTrip: a fully-populated image — TTLs, sorted entries,
+// outstanding leases, watermarks — survives encode/decode exactly.
+func TestImageV2RoundTrip(t *testing.T) {
+	img := &stmlib.RegistryImage{
+		Maps:     map[string]map[string][]byte{"m": {"k1": []byte("v1"), "k2": []byte("v2")}},
+		Queues:   map[string][][]byte{"q": {[]byte("a"), []byte("b")}},
+		Counters: map[string]int64{"c": -7},
+		MapTTLs:  map[string]map[string]int64{"m": {"k2": 12345}},
+		Sorted: map[string][]stmlib.SortedEntry[string, []byte]{
+			"board": {
+				{Key: "p1", Value: []byte("one")},
+				{Key: "p2", Value: []byte("two"), Exp: 999},
+			},
+		},
+		Leases: map[string][]stmlib.LeaseRecord[[]byte]{
+			"q": {{ID: 3, Value: []byte("leased"), Deadline: 777}},
+		},
+		LeaseSeqs: map[string]uint64{"q": 3},
+	}
+	data := encodeImage(img, 42)
+	if !bytes.HasPrefix(data, imageMagic) {
+		t.Fatalf("v2 payload missing magic: % x", data[:8])
+	}
+	got, gsn, err := decodeImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gsn != 42 {
+		t.Fatalf("watermark = %d, want 42", gsn)
+	}
+	if !reflect.DeepEqual(got, img) {
+		t.Fatalf("round-trip mismatch:\n got  %+v\n want %+v", got, img)
+	}
+}
+
+// TestImageV1BackCompatDecode: a payload in the old format (no magic)
+// still decodes — the v1 body intact, every v2 field absent.
+func TestImageV1BackCompatDecode(t *testing.T) {
+	img := &stmlib.RegistryImage{
+		Maps:     map[string]map[string][]byte{"m": {"k": []byte("v")}},
+		Queues:   map[string][][]byte{"q": {[]byte("a")}},
+		Counters: map[string]int64{"c": 9},
+	}
+	data := encodeImageV1(img, 17)
+	got, gsn, err := decodeImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gsn != 17 {
+		t.Fatalf("watermark = %d, want 17", gsn)
+	}
+	if !reflect.DeepEqual(got.Maps, img.Maps) || !reflect.DeepEqual(got.Queues, img.Queues) ||
+		!reflect.DeepEqual(got.Counters, img.Counters) {
+		t.Fatalf("v1 body mismatch: %+v", got)
+	}
+	if got.Sorted != nil || got.MapTTLs != nil || got.Leases != nil || got.LeaseSeqs != nil {
+		t.Fatalf("v1 decode fabricated v2 state: %+v", got)
+	}
+}
+
+// TestImageUnknownVersionRejected: a payload claiming a future format
+// must refuse to decode rather than misparse.
+func TestImageUnknownVersionRejected(t *testing.T) {
+	data := append(append([]byte(nil), imageMagic...), imageVersion+1)
+	if _, _, err := decodeImage(data); err == nil {
+		t.Fatal("future image version decoded")
+	}
+}
+
+// TestImageV1SnapshotRestoresE2E is the upgrade path end to end: a data
+// directory whose snapshot was written by the PREVIOUS release (v1
+// payload) boots on this binary — the old image restores, the WAL tail
+// replays on top, and the second-generation structures work on the
+// restored store.
+func TestImageV1SnapshotRestoresE2E(t *testing.T) {
+	dir := t.TempDir()
+
+	// Fabricate the old directory: record 1 is claimed covered by the v1
+	// snapshot (so replay must SKIP it), record 2 is the live WAL tail.
+	wl, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, err := AppendRequest(nil, &Request{Op: OpMapPut, Name: "m", Key: "covered", Value: []byte("stale")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn, err := wl.Append(covered); err != nil || lsn != 1 {
+		t.Fatalf("append covered record: lsn %d, %v", lsn, err)
+	}
+	v1 := encodeImageV1(&stmlib.RegistryImage{
+		Maps:     map[string]map[string][]byte{"m": {"k": []byte("old")}},
+		Queues:   map[string][][]byte{"jobs": {[]byte("a"), []byte("b")}},
+		Counters: map[string]int64{"hits": 5},
+	}, 0)
+	if err := wl.WriteSnapshot(v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := AppendRequest(nil, &Request{Op: OpMapPut, Name: "m", Key: "k2", Value: []byte("new")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Append(tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("boot over v1 snapshot: %v", err)
+	}
+	defer s.Close()
+
+	// v1 body restored, tail replayed, covered record skipped.
+	if r := submitOne(t, s, &Request{Op: OpMapGet, Name: "m", Key: "k"}); !r.Found || string(r.Value) != "old" {
+		t.Fatalf("snapshot map entry = %q, %v", r.Value, r.Found)
+	}
+	if r := submitOne(t, s, &Request{Op: OpMapGet, Name: "m", Key: "k2"}); !r.Found || string(r.Value) != "new" {
+		t.Fatalf("tail-replayed entry = %q, %v", r.Value, r.Found)
+	}
+	if r := submitOne(t, s, &Request{Op: OpMapGet, Name: "m", Key: "covered"}); r.Found {
+		t.Fatal("snapshot-covered record replayed anyway")
+	}
+	if r := submitOne(t, s, &Request{Op: OpCounterSum, Name: "hits"}); r.Num != 5 {
+		t.Fatalf("restored counter = %d", r.Num)
+	}
+
+	// The restored store speaks v2: leases on the old queue (the id
+	// watermark starts fresh at 1), sorted maps, TTLs.
+	r := submitOne(t, s, &Request{Op: OpTx, Tx: &Tx{Ops: []TxOp{
+		{Op: OpLeaseConsume, Name: "jobs", Delta: 1 << 62},
+		{Op: OpSortedPut, Name: "board", Key: "p", Value: []byte("x")},
+		{Op: OpRangeCount, Name: "board"},
+	}}})
+	if r.Status != StatusOK {
+		t.Fatalf("v2 ops on restored store: %v %s", r.Status, r.Msg)
+	}
+	if !r.TxResults[0].Found || string(r.TxResults[0].Value) != "a" || r.TxResults[0].Num != 1 {
+		t.Fatalf("lease on restored queue = %+v", r.TxResults[0])
+	}
+	if r.TxResults[2].Num != 1 {
+		t.Fatalf("range count = %d", r.TxResults[2].Num)
+	}
+
+	// The next checkpoint rewrites the snapshot in v2 and the store
+	// reboots from it with the lease still outstanding.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("reboot after v2 checkpoint: %v", err)
+	}
+	defer s2.Close()
+	r = submitOne(t, s2, &Request{Op: OpTx, Tx: &Tx{Ops: []TxOp{
+		{Op: OpLeaseLen, Name: "jobs"},
+		{Op: OpQueueLen, Name: "jobs"},
+		{Op: OpLeaseAck, Name: "jobs", Delta: 1},
+	}}})
+	if r.Status != StatusOK {
+		t.Fatalf("post-upgrade reboot: %v %s", r.Status, r.Msg)
+	}
+	if r.TxResults[0].Num != 1 || r.TxResults[1].Num != 1 {
+		t.Fatalf("leases=%d queued=%d after reboot", r.TxResults[0].Num, r.TxResults[1].Num)
+	}
+	if !r.TxResults[2].Found {
+		t.Fatal("lease id 1 not ackable after v2 reboot")
+	}
+}

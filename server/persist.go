@@ -57,7 +57,10 @@ func decodeBatch(body []byte) ([]*Request, error) {
 // writeSubOp reports whether a sub-opcode can change the store.
 func writeSubOp(op uint8) bool {
 	switch op {
-	case OpMapPut, OpMapDelete, OpMapAdd, OpQueuePush, OpQueuePop, OpCounterAdd:
+	case OpMapPut, OpMapDelete, OpMapAdd, OpQueuePush, OpQueuePop, OpCounterAdd,
+		OpSortedPut, OpSortedPutTTL, OpSortedDelete, OpMapPutTTL,
+		OpExpire, OpSortedExpire,
+		OpLeaseConsume, OpLeaseAck, OpLeaseNack, OpLeaseReclaim:
 		return true
 	}
 	return false
@@ -96,10 +99,17 @@ func mutating(req *Request, resp *Response) bool {
 	case OpTx:
 		for i := range req.Tx.Ops {
 			switch req.Tx.Ops[i].Op {
-			case OpMapPut, OpMapAdd, OpQueuePush, OpCounterAdd:
+			case OpMapPut, OpMapAdd, OpQueuePush, OpCounterAdd,
+				OpSortedPut, OpSortedPutTTL, OpMapPutTTL:
 				return true
-			case OpMapDelete, OpQueuePop:
+			case OpMapDelete, OpQueuePop,
+				OpSortedDelete, OpExpire, OpSortedExpire,
+				OpLeaseConsume, OpLeaseAck, OpLeaseNack:
 				if i < len(resp.TxResults) && resp.TxResults[i].Found {
+					return true
+				}
+			case OpLeaseReclaim:
+				if i < len(resp.TxResults) && resp.TxResults[i].Num > 0 {
 					return true
 				}
 			}
@@ -266,6 +276,19 @@ func appendU32(buf []byte, v uint32) []byte {
 	return binary.BigEndian.AppendUint32(buf, v)
 }
 
+// imageMagic opens a v2 snapshot payload. A v1 payload starts with its
+// u32 map count; read as that count, "IMG2" is ≈1.23e9 maps — orders of
+// magnitude past what any real snapshot could hold (the first name
+// field alone would overrun the payload) — so the magic can never be
+// confused with a legal v1 image, and v1 images (whose first bytes are
+// a plausible small count) can never be mistaken for v2.
+var imageMagic = []byte("IMG2")
+
+// imageVersion is the current snapshot format: v2 appends sorted-map,
+// map-TTL and queue-lease blocks after the v1 body. decodeImage still
+// reads v1 (magic absent) so snapshots written before the bump restore.
+const imageVersion = 2
+
 // encodeImage renders a registry export as the snapshot payload
 // (deterministically: names and keys sorted), reusing the protocol's
 // length-prefixed primitives. maxGSN — the highest cross-shard GSN the
@@ -274,7 +297,8 @@ func appendU32(buf []byte, v uint32) []byte {
 // a GSN record was truncated by a checkpoint" from "this shard never
 // logged it" (see reconcileGSNs).
 func encodeImage(img *stmlib.RegistryImage, maxGSN uint64) []byte {
-	var buf []byte
+	buf := append([]byte(nil), imageMagic...)
+	buf = append(buf, imageVersion)
 	mapNames := sortedKeys(img.Maps)
 	buf = appendU32(buf, uint32(len(mapNames)))
 	for _, name := range mapNames {
@@ -303,16 +327,71 @@ func encodeImage(img *stmlib.RegistryImage, maxGSN uint64) []byte {
 		buf = appendU16Str(buf, name)
 		buf = appendI64(buf, img.Counters[name])
 	}
+	// v2 blocks: sorted maps (entries carry their deadline), map TTLs,
+	// outstanding queue leases, and lease-id watermarks. The expiry index
+	// is NOT serialized — Import's structure hooks rebuild it exactly.
+	sortedNames := sortedKeys(img.Sorted)
+	buf = appendU32(buf, uint32(len(sortedNames)))
+	for _, name := range sortedNames {
+		buf = appendU16Str(buf, name)
+		entries := img.Sorted[name]
+		buf = appendU32(buf, uint32(len(entries)))
+		for _, e := range entries {
+			buf = appendU16Str(buf, e.Key)
+			buf = appendU32Bytes(buf, e.Value)
+			buf = appendI64(buf, e.Exp)
+		}
+	}
+	ttlNames := sortedKeys(img.MapTTLs)
+	buf = appendU32(buf, uint32(len(ttlNames)))
+	for _, name := range ttlNames {
+		buf = appendU16Str(buf, name)
+		ttls := img.MapTTLs[name]
+		keys := sortedKeys(ttls)
+		buf = appendU32(buf, uint32(len(keys)))
+		for _, k := range keys {
+			buf = appendU16Str(buf, k)
+			buf = appendI64(buf, ttls[k])
+		}
+	}
+	leaseNames := sortedKeys(img.Leases)
+	buf = appendU32(buf, uint32(len(leaseNames)))
+	for _, name := range leaseNames {
+		buf = appendU16Str(buf, name)
+		recs := img.Leases[name]
+		buf = appendU32(buf, uint32(len(recs)))
+		for _, rec := range recs {
+			buf = binary.BigEndian.AppendUint64(buf, rec.ID)
+			buf = appendU32Bytes(buf, rec.Value)
+			buf = appendI64(buf, rec.Deadline)
+		}
+	}
+	seqNames := sortedKeys(img.LeaseSeqs)
+	buf = appendU32(buf, uint32(len(seqNames)))
+	for _, name := range seqNames {
+		buf = appendU16Str(buf, name)
+		buf = binary.BigEndian.AppendUint64(buf, img.LeaseSeqs[name])
+	}
 	buf = binary.BigEndian.AppendUint64(buf, maxGSN)
 	return buf
 }
 
 // decodeImage parses a snapshot payload, returning the image and its
-// cross-shard GSN watermark. Pre-D31 snapshots end right after the
-// counters block — they decode with watermark 0, which is exact (no
-// GSN record existed when they were written).
+// cross-shard GSN watermark. Both live versions decode: v2 (magic
+// prefix, D46) and the v1 body written before the sorted/TTL/lease
+// blocks existed — a v1 image restores with those blocks empty.
+// Pre-D31 snapshots end right after the counters block — they decode
+// with watermark 0, which is exact (no GSN record existed when they
+// were written).
 func decodeImage(data []byte) (*stmlib.RegistryImage, uint64, error) {
 	c := &cursor{b: data}
+	v2 := len(data) > len(imageMagic) && string(data[:len(imageMagic)]) == string(imageMagic)
+	if v2 {
+		c.take(len(imageMagic))
+		if ver := c.u8(); ver != imageVersion {
+			return nil, 0, fmt.Errorf("server: snapshot: unknown image version %d", ver)
+		}
+	}
 	img := &stmlib.RegistryImage{
 		Maps:     make(map[string]map[string][]byte),
 		Queues:   make(map[string][][]byte),
@@ -338,6 +417,59 @@ func decodeImage(data []byte) (*stmlib.RegistryImage, uint64, error) {
 	for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
 		name := c.str16()
 		img.Counters[name] = c.i64()
+	}
+	if v2 {
+		for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+			name := c.str16()
+			m := int(c.u32())
+			entries := make([]stmlib.SortedEntry[string, []byte], 0, m)
+			for j := 0; j < m && c.err == nil; j++ {
+				var e stmlib.SortedEntry[string, []byte]
+				e.Key = c.str16()
+				e.Value = c.bytes32()
+				e.Exp = c.i64()
+				entries = append(entries, e)
+			}
+			if img.Sorted == nil {
+				img.Sorted = make(map[string][]stmlib.SortedEntry[string, []byte])
+			}
+			img.Sorted[name] = entries
+		}
+		for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+			name := c.str16()
+			ttls := make(map[string]int64)
+			for j, m := 0, int(c.u32()); j < m && c.err == nil; j++ {
+				k := c.str16()
+				ttls[k] = c.i64()
+			}
+			if img.MapTTLs == nil {
+				img.MapTTLs = make(map[string]map[string]int64)
+			}
+			img.MapTTLs[name] = ttls
+		}
+		for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+			name := c.str16()
+			m := int(c.u32())
+			recs := make([]stmlib.LeaseRecord[[]byte], 0, m)
+			for j := 0; j < m && c.err == nil; j++ {
+				var rec stmlib.LeaseRecord[[]byte]
+				rec.ID = c.u64()
+				rec.Value = c.bytes32()
+				rec.Deadline = c.i64()
+				recs = append(recs, rec)
+			}
+			if img.Leases == nil {
+				img.Leases = make(map[string][]stmlib.LeaseRecord[[]byte])
+			}
+			img.Leases[name] = recs
+		}
+		for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+			name := c.str16()
+			if img.LeaseSeqs == nil {
+				img.LeaseSeqs = make(map[string]uint64)
+			}
+			img.LeaseSeqs[name] = c.u64()
+		}
 	}
 	var maxGSN uint64
 	if c.err == nil && len(c.b)-c.off == 8 {

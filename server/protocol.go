@@ -102,6 +102,65 @@ const (
 	// group commits append, with heartbeats while idle. The stream ends
 	// only with the connection (or a StatusErr frame naming the reason).
 	OpReplSubscribe
+
+	// Second-generation sub-opcodes (sorted maps, per-key TTL, queue
+	// leases). Valid ONLY inside an OpTx envelope — ParseRequest rejects
+	// them top-level, so the dispatch surface (routing, batching,
+	// logging) stays the envelope path; clients wrap point uses in
+	// single-op envelopes. Deadlines and cutoffs are int64 UnixNano
+	// carried in Delta: reads judge expiry against the reader's clock
+	// (never logged), but every PHYSICAL removal is one of the explicit
+	// cutoff-carrying ops below, so replaying the WAL is deterministic —
+	// no wall clock in any logged path.
+
+	// OpSortedGet: Value/Found = the sorted map's live value under Key
+	// (an expired-but-unreaped entry reads as absent).
+	OpSortedGet
+	// OpSortedPut: set Key to Value with no deadline.
+	OpSortedPut
+	// OpSortedPutTTL: set Key to Value expiring at Delta (UnixNano);
+	// Delta <= 0 degrades to a plain put.
+	OpSortedPutTTL
+	// OpSortedDelete: physically remove Key; Found whether it existed.
+	OpSortedDelete
+	// OpSortedLen: Num = physical entry count (expired-but-unreaped
+	// entries included — the reaper's progress gauge).
+	OpSortedLen
+	// OpRangeScan: Num/Value = the live entries in [Key, string(Value))
+	// in key order, capped at Delta entries (0: unbounded); an empty
+	// Value scans to the end of the key space. The result Value is an
+	// EncodeKVs list, Num its length. Executes as the sorted map's
+	// parallel-nested subrange scan.
+	OpRangeScan
+	// OpRangeCount: Num = the live-entry count of the same range shape
+	// as OpRangeScan (Delta ignored), without materializing values.
+	OpRangeCount
+	// OpMapPutTTL: TMap put with a deadline, mirroring OpSortedPutTTL.
+	OpMapPutTTL
+	// OpExpire: physically remove the map Key iff it carries a deadline
+	// <= Delta (the reaper's logged cutoff); Found whether it did.
+	OpExpire
+	// OpSortedExpire: OpExpire for a sorted map key.
+	OpSortedExpire
+	// OpLeaseConsume: pop one element under a lease expiring at Delta;
+	// Found whether an element was available, Num the lease id, Value
+	// the payload. Lease ids are minted from transactional state, so
+	// replay reproduces them exactly.
+	OpLeaseConsume
+	// OpLeaseAck: retire lease Delta (id). GUARD-LIKE: an absent lease
+	// (already reclaimed and re-delivered) REJECTS the envelope, so an
+	// ack bundled with its side effects (done-markers, counters) commits
+	// atomically exactly once per delivery.
+	OpLeaseAck
+	// OpLeaseNack: return lease Delta's element to the queue tail; Found
+	// whether the lease still existed (an absent lease is a no-op, not a
+	// rejection — reclaim already requeued it).
+	OpLeaseNack
+	// OpLeaseReclaim: requeue every lease with deadline <= Delta, in
+	// lease-id order; Num = how many.
+	OpLeaseReclaim
+	// OpLeaseLen: Num = outstanding lease count.
+	OpLeaseLen
 )
 
 // Response statuses.
@@ -295,10 +354,55 @@ func validSubOp(op uint8) bool {
 	case OpMapGet, OpMapPut, OpMapDelete, OpMapLen,
 		OpQueuePush, OpQueuePop, OpQueueLen,
 		OpCounterAdd, OpCounterSum,
-		OpMapAdd, OpAssertEq, OpAssertGE:
+		OpMapAdd, OpAssertEq, OpAssertGE,
+		OpSortedGet, OpSortedPut, OpSortedPutTTL, OpSortedDelete, OpSortedLen,
+		OpRangeScan, OpRangeCount,
+		OpMapPutTTL, OpExpire, OpSortedExpire,
+		OpLeaseConsume, OpLeaseAck, OpLeaseNack, OpLeaseReclaim, OpLeaseLen:
 		return true
 	}
 	return false
+}
+
+// KVEntry is one decoded range-scan result entry.
+type KVEntry struct {
+	Key   string
+	Value []byte
+}
+
+// AppendKVs encodes a range-scan result list into buf: u32 count, then
+// per entry a u16-prefixed key and u32-prefixed value. The encoding is
+// carried as an OpRangeScan result Value, so it must survive the same
+// frame limits as any other value.
+func AppendKVs(buf []byte, kvs []KVEntry) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(kvs)))
+	for _, kv := range kvs {
+		buf = appendU16Str(buf, kv.Key)
+		buf = appendU32Bytes(buf, kv.Value)
+	}
+	return buf
+}
+
+// DecodeKVs parses an AppendKVs list, rejecting truncated or oversized
+// encodings.
+func DecodeKVs(b []byte) ([]KVEntry, error) {
+	cur := &cursor{b: b}
+	raw := cur.take(4)
+	if raw == nil {
+		return nil, cur.err
+	}
+	n := binary.BigEndian.Uint32(raw)
+	if uint64(n)*6 > uint64(len(b)) { // each entry costs >= 6 prefix bytes
+		return nil, fmt.Errorf("server: kv list claims %d entries in %d bytes", n, len(b))
+	}
+	kvs := make([]KVEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		kvs = append(kvs, KVEntry{Key: cur.str16(), Value: cur.bytes32()})
+	}
+	if err := cur.done(); err != nil {
+		return nil, err
+	}
+	return kvs, nil
 }
 
 // AppendRequest appends req as a complete frame (length prefix

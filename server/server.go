@@ -174,6 +174,17 @@ type Config struct {
 	// not belong on an unauthenticated plane unless asked for.
 	AdminDebug bool
 
+	// ReapInterval runs the TTL/lease reaper on that cadence (D47): each
+	// tick scans every shard's expiry index for entries due by the tick's
+	// wall-clock cutoff and submits logged expire/reclaim envelopes
+	// through the shard's normal batch pipeline, so reaps serialize with
+	// client traffic, land in the WAL with their explicit cutoff, and
+	// replay deterministically. Zero: no background reaper (reads still
+	// hide expired entries; Server.Reap still works). Primary-only — a
+	// replica replays the primary's reap records instead of minting its
+	// own.
+	ReapInterval time.Duration
+
 	// Logger receives the server's structured log records (shutdown
 	// durability failures, crisis dumps, admin-plane errors). Nil: the
 	// process-default slog logger.
@@ -297,6 +308,10 @@ type Server struct {
 
 	ckStop chan struct{} // non-nil when the checkpointer runs
 	ckDone chan struct{}
+
+	reapStop chan struct{} // non-nil when the TTL/lease reaper runs
+	reapDone chan struct{}
+	reapObs  reaperStats
 
 	// gsn is the global sequencer for cross-shard envelopes (D29):
 	// each mutating multi-shard OpTx draws one monotone global sequence
@@ -435,6 +450,15 @@ func New(cfg Config) (*Server, error) {
 	s.recovered.Store(true)
 	if cfg.ReplicaOf != "" {
 		s.repl = newReplicator(s, cfg.ReplicaOf)
+	}
+	// The reaper starts only after recovery: its expire/reclaim envelopes
+	// go through the batchers like client traffic, and a reap minted
+	// during replay would double-apply. Primary-only — replicas replay
+	// the primary's logged reaps (and refuse mutations anyway).
+	if cfg.ReapInterval > 0 && cfg.ReplicaOf == "" {
+		s.reapStop = make(chan struct{})
+		s.reapDone = make(chan struct{})
+		go s.reapLoop()
 	}
 	return s, nil
 }
@@ -725,6 +749,7 @@ func (s *Server) Close() {
 	}
 	s.stopController()
 	s.prof.close()
+	s.stopReaper()
 	if s.ckStop != nil {
 		close(s.ckStop)
 		<-s.ckDone
@@ -803,6 +828,7 @@ func (s *Server) Kill() {
 	}
 	s.stopController()
 	s.prof.close()
+	s.stopReaper()
 	if s.ckStop != nil {
 		close(s.ckStop)
 		<-s.ckDone
@@ -899,9 +925,14 @@ func (s *Server) Stats() ServerStats {
 // OpCounterSum, which fans).
 func txPinnedShard(op *TxOp, n int) (int, bool) {
 	switch op.Op {
-	case OpMapGet, OpMapPut, OpMapDelete, OpMapLen, OpMapAdd:
+	case OpMapGet, OpMapPut, OpMapDelete, OpMapLen, OpMapAdd,
+		OpMapPutTTL, OpExpire:
 		return stmlib.ShardIndex(op.Name, n), true
-	case OpQueuePush, OpQueuePop, OpQueueLen:
+	case OpQueuePush, OpQueuePop, OpQueueLen,
+		OpLeaseConsume, OpLeaseAck, OpLeaseNack, OpLeaseReclaim, OpLeaseLen:
+		return stmlib.ShardIndex(op.Name, n), true
+	case OpSortedGet, OpSortedPut, OpSortedPutTTL, OpSortedDelete, OpSortedLen,
+		OpRangeScan, OpRangeCount, OpSortedExpire:
 		return stmlib.ShardIndex(op.Name, n), true
 	case OpAssertEq, OpAssertGE:
 		if op.Key != "" { // map guard

@@ -12,6 +12,17 @@ type RegistryImage struct {
 	Maps     map[string]map[string][]byte
 	Queues   map[string][][]byte
 	Counters map[string]int64
+
+	// Second-generation structure state (image format v2). MapTTLs
+	// holds per-map key deadlines (only TTL'd keys appear); Sorted
+	// holds each sorted map's entries in key order, deadlines included;
+	// Leases/LeaseSeqs hold each queue's outstanding leases and its
+	// lease-id watermark. The registry's deadline index is deliberately
+	// absent: Import rebuilds it from these via the structure hooks.
+	MapTTLs   map[string]map[string]int64
+	Sorted    map[string][]SortedEntry[string, []byte]
+	Leases    map[string][]LeaseRecord[[]byte]
+	LeaseSeqs map[string]uint64
 }
 
 // Export captures the whole catalog as one atomic bulk read. It is the
@@ -26,16 +37,25 @@ type RegistryImage struct {
 // like against any bulk read, so the image is a consistent cut.
 func (r *Registry) Export(c *pnstm.Ctx) *RegistryImage {
 	mapNames, queueNames, counterNames := r.Names()
+	sortedNames := r.SortedNames()
 	img := &RegistryImage{
-		Maps:     make(map[string]map[string][]byte, len(mapNames)),
-		Queues:   make(map[string][][]byte, len(queueNames)),
-		Counters: make(map[string]int64, len(counterNames)),
+		Maps:      make(map[string]map[string][]byte, len(mapNames)),
+		Queues:    make(map[string][][]byte, len(queueNames)),
+		Counters:  make(map[string]int64, len(counterNames)),
+		MapTTLs:   make(map[string]map[string]int64),
+		Sorted:    make(map[string][]SortedEntry[string, []byte], len(sortedNames)),
+		Leases:    make(map[string][]LeaseRecord[[]byte]),
+		LeaseSeqs: make(map[string]uint64),
 	}
 	// Parallel children each own a disjoint slice of these result
 	// arrays; the shared img maps are assembled only after the join.
 	mapOut := make([]map[string][]byte, len(mapNames))
+	mapTTLOut := make([]map[string]int64, len(mapNames))
 	queueOut := make([][][]byte, len(queueNames))
+	leaseOut := make([][]LeaseRecord[[]byte], len(queueNames))
+	leaseSeqOut := make([]uint64, len(queueNames))
 	counterOut := make([]int64, len(counterNames))
+	sortedOut := make([][]SortedEntry[string, []byte], len(sortedNames))
 	_ = c.Atomic(func(c *pnstm.Ctx) error {
 		// One task per structure; tasks are spread over ≤ fanout parallel
 		// children, mirroring the bucket-group idiom. Each task's bulk
@@ -43,27 +63,51 @@ func (r *Registry) Export(c *pnstm.Ctx) *RegistryImage {
 		var tasks []func(*pnstm.Ctx)
 		for i, name := range mapNames {
 			i, name := i, name
-			tasks = append(tasks, func(c *pnstm.Ctx) { mapOut[i] = r.Map(name).Snapshot(c) })
+			tasks = append(tasks, func(c *pnstm.Ctx) {
+				m := r.Map(name)
+				mapOut[i] = m.Snapshot(c)
+				mapTTLOut[i] = m.TTLSnapshot(c)
+			})
 		}
 		for i, name := range queueNames {
 			i, name := i, name
-			tasks = append(tasks, func(c *pnstm.Ctx) { queueOut[i] = r.Queue(name).Elements(c) })
+			tasks = append(tasks, func(c *pnstm.Ctx) {
+				q := r.Queue(name)
+				queueOut[i] = q.Elements(c)
+				leaseOut[i], leaseSeqOut[i] = q.LeaseSnapshot(c)
+			})
 		}
 		for i, name := range counterNames {
 			i, name := i, name
 			tasks = append(tasks, func(c *pnstm.Ctx) { counterOut[i] = r.Counter(name).Sum(c) })
+		}
+		for i, name := range sortedNames {
+			i, name := i, name
+			tasks = append(tasks, func(c *pnstm.Ctx) { sortedOut[i] = r.SortedMap(name).ExportEntries(c) })
 		}
 		parallelTasks(c, r.fanout, tasks)
 		return nil
 	})
 	for i, name := range mapNames {
 		img.Maps[name] = mapOut[i]
+		if len(mapTTLOut[i]) > 0 {
+			img.MapTTLs[name] = mapTTLOut[i]
+		}
 	}
 	for i, name := range queueNames {
 		img.Queues[name] = queueOut[i]
+		if len(leaseOut[i]) > 0 {
+			img.Leases[name] = leaseOut[i]
+		}
+		if leaseSeqOut[i] > 0 {
+			img.LeaseSeqs[name] = leaseSeqOut[i]
+		}
 	}
 	for i, name := range counterNames {
 		img.Counters[name] = counterOut[i]
+	}
+	for i, name := range sortedNames {
+		img.Sorted[name] = sortedOut[i]
 	}
 	return img
 }
@@ -105,6 +149,25 @@ func (r *Registry) Import(c *pnstm.Ctx, img *RegistryImage) {
 					cnt.Add(c, total)
 				}
 			})
+		}
+		for name, ttls := range img.MapTTLs {
+			m, ttls := r.Map(name), ttls
+			tasks = append(tasks, func(c *pnstm.Ctx) { m.ImportTTLs(c, ttls) })
+		}
+		for name, entries := range img.Sorted {
+			sm, entries := r.SortedMap(name), entries
+			tasks = append(tasks, func(c *pnstm.Ctx) { sm.ImportEntries(c, entries) })
+		}
+		for name, recs := range img.Leases {
+			q, recs, seq := r.Queue(name), recs, img.LeaseSeqs[name]
+			tasks = append(tasks, func(c *pnstm.Ctx) { q.ImportLeases(c, recs, seq) })
+		}
+		for name, seq := range img.LeaseSeqs {
+			if _, leased := img.Leases[name]; leased {
+				continue // ImportLeases above already advances the seq
+			}
+			q, seq := r.Queue(name), seq
+			tasks = append(tasks, func(c *pnstm.Ctx) { q.ImportLeases(c, nil, seq) })
 		}
 		parallelTasks(c, r.fanout, tasks)
 		return nil

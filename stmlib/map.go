@@ -29,8 +29,18 @@ const DefaultFanout = 8
 // transactions; the zero value is not usable.
 type TMap[K comparable, V any] struct {
 	buckets []*pnstm.TVar[map[K]V]
-	mask    uint64
-	fanout  int
+	// ttl mirrors buckets: ttl[i] holds the absolute expiry deadlines
+	// (Unix nanos) of bucket i's TTL'd keys. Kept separate so maps that
+	// never use TTL pay only one extra read per Get; the deadline maps
+	// are immutable (copy-on-write) like the value buckets.
+	ttl    []*pnstm.TVar[map[K]int64]
+	mask   uint64
+	fanout int
+
+	// hook, when set, is invoked inside the mutating transaction
+	// whenever a key's deadline changes (oldExp → newExp, either may be
+	// 0) — the registry uses it to maintain its deadline index.
+	hook func(c *pnstm.Ctx, oldExp, newExp int64, k K)
 }
 
 // NewTMap returns a TMap with the given number of buckets (rounded up to
@@ -52,11 +62,13 @@ func NewTMapFanout[K comparable, V any](buckets, fanout int) *TMap[K, V] {
 	}
 	m := &TMap[K, V]{
 		buckets: make([]*pnstm.TVar[map[K]V], n),
+		ttl:     make([]*pnstm.TVar[map[K]int64], n),
 		mask:    uint64(n - 1),
 		fanout:  fanout,
 	}
 	for i := range m.buckets {
 		m.buckets[i] = pnstm.NewTVar[map[K]V](nil)
+		m.ttl[i] = pnstm.NewTVar[map[K]int64](nil)
 	}
 	return m
 }
@@ -71,18 +83,56 @@ func (m *TMap[K, V]) SetLabel(name string) {
 	for i, b := range m.buckets {
 		b.Obj().SetLabel("m:" + name + "/" + itoa(i))
 	}
+	for i, b := range m.ttl {
+		b.Obj().SetLabel("m:" + name + "/ttl" + itoa(i))
+	}
+}
+
+// SetExpiryHook installs the deadline-change callback (registry index
+// maintenance). Call once at construction time.
+func (m *TMap[K, V]) SetExpiryHook(h func(c *pnstm.Ctx, oldExp, newExp int64, k K)) {
+	m.hook = h
 }
 
 func (m *TMap[K, V]) bucket(k K) *pnstm.TVar[map[K]V] {
 	return m.buckets[hashKey(k)&m.mask]
 }
 
-// Get returns the value stored under k and whether it was present.
+func (m *TMap[K, V]) ttlBucket(k K) *pnstm.TVar[map[K]int64] {
+	return m.ttl[hashKey(k)&m.mask]
+}
+
+// clearDeadline drops k's deadline (if any) inside the caller's
+// transaction and fires the hook. Caller must be inside an Atomic.
+func (m *TMap[K, V]) clearDeadline(c *pnstm.Ctx, k K) {
+	tv := m.ttlBucket(k)
+	old := pnstm.Load(c, tv)
+	exp, had := old[k]
+	if !had {
+		return
+	}
+	next := cloneBucket(old, 0)
+	delete(next, k)
+	pnstm.Store(c, tv, next)
+	if m.hook != nil {
+		m.hook(c, exp, 0, k)
+	}
+}
+
+// Get returns the live value stored under k: an entry past its TTL
+// deadline (PutTTL) is hidden — reported absent — even before the
+// reaper sweeps it physically.
 func (m *TMap[K, V]) Get(c *pnstm.Ctx, k K) (V, bool) {
+	now := nowNanos()
 	var v V
 	var ok bool
 	_ = c.Atomic(func(c *pnstm.Ctx) error {
 		v, ok = pnstm.Load(c, m.bucket(k))[k]
+		if ok {
+			if exp := pnstm.Load(c, m.ttlBucket(k))[k]; exp > 0 && exp <= now {
+				v, ok = *new(V), false
+			}
+		}
 		return nil
 	})
 	return v, ok
@@ -94,18 +144,81 @@ func (m *TMap[K, V]) Contains(c *pnstm.Ctx, k K) bool {
 	return ok
 }
 
-// Put stores v under k, replacing any previous value.
+// Put stores v under k, replacing any previous value and clearing any
+// previous TTL deadline.
 func (m *TMap[K, V]) Put(c *pnstm.Ctx, k K, v V) {
 	_ = c.Atomic(func(c *pnstm.Ctx) error {
 		tv := m.bucket(k)
 		next := cloneBucket(pnstm.Load(c, tv), 1)
 		next[k] = v
 		pnstm.Store(c, tv, next)
+		m.clearDeadline(c, k)
 		return nil
 	})
 }
 
-// Delete removes k and reports whether it was present.
+// PutTTL stores v under k with an absolute expiry deadline in Unix
+// nanoseconds. Reads hide the entry once the deadline passes; the
+// reaper removes it physically via ExpireThrough. exp <= 0 behaves
+// like Put.
+func (m *TMap[K, V]) PutTTL(c *pnstm.Ctx, k K, v V, exp int64) {
+	if exp <= 0 {
+		m.Put(c, k, v)
+		return
+	}
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		tv := m.bucket(k)
+		next := cloneBucket(pnstm.Load(c, tv), 1)
+		next[k] = v
+		pnstm.Store(c, tv, next)
+		ttv := m.ttlBucket(k)
+		oldT := pnstm.Load(c, ttv)
+		oldExp := oldT[k]
+		nextT := cloneBucket(oldT, 1)
+		nextT[k] = exp
+		pnstm.Store(c, ttv, nextT)
+		if m.hook != nil && oldExp != exp {
+			m.hook(c, oldExp, exp, k)
+		}
+		return nil
+	})
+}
+
+// ExpireThrough removes k iff it carries a deadline at or before
+// cutoff, reporting whether it did. The reaper's primitive: explicit
+// cutoff, no wall clock, so the operation is deterministic to log and
+// replay.
+func (m *TMap[K, V]) ExpireThrough(c *pnstm.Ctx, k K, cutoff int64) bool {
+	var swept bool
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		swept = false
+		ttv := m.ttlBucket(k)
+		oldT := pnstm.Load(c, ttv)
+		exp, had := oldT[k]
+		if !had || exp > cutoff {
+			return nil
+		}
+		swept = true
+		nextT := cloneBucket(oldT, 0)
+		delete(nextT, k)
+		pnstm.Store(c, ttv, nextT)
+		tv := m.bucket(k)
+		old := pnstm.Load(c, tv)
+		if _, ok := old[k]; ok {
+			next := cloneBucket(old, 0)
+			delete(next, k)
+			pnstm.Store(c, tv, next)
+		}
+		if m.hook != nil {
+			m.hook(c, exp, 0, k)
+		}
+		return nil
+	})
+	return swept
+}
+
+// Delete removes k physically — deadline or not — and reports whether
+// an entry (live or expired-unswept) was present.
 func (m *TMap[K, V]) Delete(c *pnstm.Ctx, k K) bool {
 	var had bool
 	_ = c.Atomic(func(c *pnstm.Ctx) error {
@@ -117,6 +230,7 @@ func (m *TMap[K, V]) Delete(c *pnstm.Ctx, k K) bool {
 		next := cloneBucket(old, 0)
 		delete(next, k)
 		pnstm.Store(c, tv, next)
+		m.clearDeadline(c, k)
 		return nil
 	})
 	return had
@@ -215,7 +329,8 @@ func (m *TMap[K, V]) Snapshot(c *pnstm.Ctx) map[K]V {
 	return out
 }
 
-// Clear removes every entry, one nested child per bucket group.
+// Clear removes every entry (and every TTL deadline), one nested child
+// per bucket group.
 func (m *TMap[K, V]) Clear(c *pnstm.Ctx) {
 	_ = c.Atomic(func(c *pnstm.Ctx) error {
 		m.forEachGroup(c, func(c *pnstm.Ctx, g, lo, hi int) {
@@ -223,8 +338,69 @@ func (m *TMap[K, V]) Clear(c *pnstm.Ctx) {
 				if pnstm.Load(c, m.buckets[i]) != nil {
 					pnstm.Store[map[K]V](c, m.buckets[i], nil)
 				}
+				if old := pnstm.Load(c, m.ttl[i]); old != nil {
+					pnstm.Store[map[K]int64](c, m.ttl[i], nil)
+					if m.hook != nil {
+						for k, exp := range old {
+							m.hook(c, exp, 0, k)
+						}
+					}
+				}
 			}
 		})
+		return nil
+	})
+}
+
+// TTLSnapshot returns a consistent copy of every key's expiry deadline
+// (keys without a TTL are absent), collected like Snapshot — the TTL
+// side of the map's checkpoint payload.
+func (m *TMap[K, V]) TTLSnapshot(c *pnstm.Ctx) map[K]int64 {
+	var out map[K]int64
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		parts := make([]map[K]int64, m.groupCount())
+		m.forEachGroup(c, func(c *pnstm.Ctx, g, lo, hi int) {
+			part := make(map[K]int64)
+			for i := lo; i < hi; i++ {
+				for k, exp := range pnstm.Load(c, m.ttl[i]) {
+					part[k] = exp
+				}
+			}
+			parts[g] = part
+		})
+		out = make(map[K]int64)
+		for _, part := range parts {
+			for k, exp := range part {
+				out[k] = exp
+			}
+		}
+		return nil
+	})
+	return out
+}
+
+// ImportTTLs restores exported deadlines (keys must already hold their
+// values), firing the expiry hook so the registry's deadline index —
+// which snapshots deliberately do not serialize — is rebuilt.
+func (m *TMap[K, V]) ImportTTLs(c *pnstm.Ctx, ttls map[K]int64) {
+	if len(ttls) == 0 {
+		return
+	}
+	_ = c.Atomic(func(c *pnstm.Ctx) error {
+		for k, exp := range ttls {
+			if exp <= 0 {
+				continue
+			}
+			ttv := m.ttlBucket(k)
+			oldT := pnstm.Load(c, ttv)
+			oldExp := oldT[k]
+			nextT := cloneBucket(oldT, 1)
+			nextT[k] = exp
+			pnstm.Store(c, ttv, nextT)
+			if m.hook != nil && oldExp != exp {
+				m.hook(c, oldExp, exp, k)
+			}
+		}
 		return nil
 	})
 }

@@ -3,6 +3,8 @@ package stmlib
 import (
 	"sort"
 	"sync"
+
+	"pnstm"
 )
 
 // Registry is a catalog of named transactional structures: string-keyed
@@ -25,6 +27,14 @@ type Registry struct {
 	maps     map[string]*TMap[string, []byte]
 	queues   map[string]*TQueue[[]byte]
 	counters map[string]*TCounter
+	sorted   map[string]*TSortedMap[string, []byte]
+
+	// expiry is the internal deadline index (see expiry.go): one entry
+	// per TTL'd key and outstanding lease across every structure in
+	// this registry, maintained by the structures' hooks inside their
+	// own transactions. It has no name, is not listed by Names, and is
+	// rebuilt — not serialized — across snapshots.
+	expiry *TSortedMap[string, []byte]
 
 	buckets int // per-map bucket count
 	stripes int // per-counter stripe count
@@ -50,13 +60,30 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = DefaultFanout
 	}
-	return &Registry{
+	r := &Registry{
 		maps:     make(map[string]*TMap[string, []byte]),
 		queues:   make(map[string]*TQueue[[]byte]),
 		counters: make(map[string]*TCounter),
+		sorted:   make(map[string]*TSortedMap[string, []byte]),
 		buckets:  cfg.MapBuckets,
 		stripes:  cfg.CounterStripes,
 		fanout:   cfg.Fanout,
+	}
+	r.expiry = NewTSortedMapFanout[string, []byte](cfg.Fanout)
+	r.expiry.SetLabel("\x00expiry")
+	return r
+}
+
+// keyHook returns the deadline-change callback a map or sorted map of
+// the given kind and name maintains the expiry index with.
+func (r *Registry) keyHook(kind byte, name string) func(c *pnstm.Ctx, oldExp, newExp int64, k string) {
+	return func(c *pnstm.Ctx, oldExp, newExp int64, k string) {
+		if oldExp > 0 {
+			r.expiry.Delete(c, ExpiryKey(oldExp, kind, name, k))
+		}
+		if newExp > 0 {
+			r.expiry.Put(c, ExpiryKey(newExp, kind, name, k), nil)
+		}
 	}
 }
 
@@ -73,7 +100,27 @@ func (r *Registry) Map(name string) *TMap[string, []byte] {
 	if m = r.maps[name]; m == nil {
 		m = NewTMapFanout[string, []byte](r.buckets, r.fanout)
 		m.SetLabel(name) // conflict attribution (D35)
+		m.SetExpiryHook(r.keyHook(ExpiryKindMap, name))
 		r.maps[name] = m
+	}
+	return m
+}
+
+// SortedMap returns the named sorted map, creating it on first use.
+func (r *Registry) SortedMap(name string) *TSortedMap[string, []byte] {
+	r.mu.RLock()
+	m := r.sorted[name]
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m = r.sorted[name]; m == nil {
+		m = NewTSortedMapFanout[string, []byte](r.fanout)
+		m.SetLabel(name) // conflict attribution (D35)
+		m.SetExpiryHook(r.keyHook(ExpiryKindSorted, name))
+		r.sorted[name] = m
 	}
 	return m
 }
@@ -91,6 +138,10 @@ func (r *Registry) Queue(name string) *TQueue[[]byte] {
 	if q = r.queues[name]; q == nil {
 		q = NewTQueue[[]byte]()
 		q.SetLabel(name) // conflict attribution (D35)
+		hook := r.keyHook(ExpiryKindLease, name)
+		q.SetLeaseHook(func(c *pnstm.Ctx, oldDl, newDl int64, id uint64) {
+			hook(c, oldDl, newDl, LeaseRef(id))
+		})
 		r.queues[name] = q
 	}
 	return q
@@ -115,7 +166,8 @@ func (r *Registry) Counter(name string) *TCounter {
 }
 
 // Names returns the sorted names of every structure of each kind
-// (diagnostics).
+// (diagnostics). Sorted maps have their own SortedNames (this
+// signature predates them).
 func (r *Registry) Names() (maps, queues, counters []string) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -133,3 +185,20 @@ func (r *Registry) Names() (maps, queues, counters []string) {
 	sort.Strings(counters)
 	return maps, queues, counters
 }
+
+// SortedNames returns the sorted names of every sorted map.
+func (r *Registry) SortedNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.sorted))
+	for n := range r.sorted {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExpiryIndex exposes the internal deadline index (reaper scans; see
+// expiry.go for the key layout). Treat it as read-only: the structure
+// hooks own its contents.
+func (r *Registry) ExpiryIndex() *TSortedMap[string, []byte] { return r.expiry }

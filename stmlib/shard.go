@@ -69,4 +69,37 @@ func (img *RegistryImage) Merge(other *RegistryImage) {
 	for name, total := range other.Counters {
 		img.Counters[name] += total
 	}
+	for name, ttls := range other.MapTTLs {
+		if img.MapTTLs == nil {
+			img.MapTTLs = make(map[string]map[string]int64)
+		}
+		dst := img.MapTTLs[name]
+		if dst == nil {
+			dst = make(map[string]int64, len(ttls))
+			img.MapTTLs[name] = dst
+		}
+		for k, exp := range ttls {
+			dst[k] = exp
+		}
+	}
+	for name, entries := range other.Sorted {
+		if img.Sorted == nil {
+			img.Sorted = make(map[string][]SortedEntry[string, []byte])
+		}
+		img.Sorted[name] = append(img.Sorted[name], entries...)
+	}
+	for name, recs := range other.Leases {
+		if img.Leases == nil {
+			img.Leases = make(map[string][]LeaseRecord[[]byte])
+		}
+		img.Leases[name] = append(img.Leases[name], recs...)
+	}
+	for name, seq := range other.LeaseSeqs {
+		if img.LeaseSeqs == nil {
+			img.LeaseSeqs = make(map[string]uint64)
+		}
+		if seq > img.LeaseSeqs[name] {
+			img.LeaseSeqs[name] = seq
+		}
+	}
 }
